@@ -1,0 +1,55 @@
+//! Criterion benches over the kernel cost models (Figures 12/13) and the
+//! functional fragment-wise Samoyeds kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_kernels::gemm_dense::DenseGemm;
+use samoyeds_kernels::samoyeds_kernel::SamoyedsKernel;
+use samoyeds_kernels::spmm_nm::NmSpmm;
+use samoyeds_kernels::spmm_venom::VenomSpmm;
+use samoyeds_kernels::GemmProblem;
+use samoyeds_sparse::samoyeds::SamoyedsConfig;
+use samoyeds_sparse::{DenseMatrix, SamoyedsWeight, SelInput};
+
+fn bench_kernel_cost_models(c: &mut Criterion) {
+    let dev = DeviceSpec::rtx4070_super();
+    let mut group = c.benchmark_group("fig12_kernel_cost");
+    for &size in &[1024usize, 4096] {
+        let problem = GemmProblem::samoyeds(size, size, size, size, SamoyedsConfig::DEFAULT);
+        let dense = GemmProblem::dense(size, size, size);
+        group.bench_with_input(BenchmarkId::new("samoyeds", size), &problem, |b, p| {
+            let k = SamoyedsKernel::new(dev.clone());
+            b.iter(|| k.stats(p))
+        });
+        group.bench_with_input(BenchmarkId::new("venom", size), &dense, |b, p| {
+            let k = VenomSpmm::new(dev.clone());
+            b.iter(|| k.stats(p))
+        });
+        group.bench_with_input(BenchmarkId::new("cusparselt", size), &dense, |b, p| {
+            let k = NmSpmm::new(dev.clone());
+            b.iter(|| k.stats(p))
+        });
+        group.bench_with_input(BenchmarkId::new("cublas", size), &dense, |b, p| {
+            let k = DenseGemm::new(dev.clone());
+            b.iter(|| k.stats(p))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_samoyeds_kernel(c: &mut Criterion) {
+    let dev = DeviceSpec::rtx4070_super();
+    let kernel = SamoyedsKernel::new(dev);
+    let weight = SamoyedsWeight::prune_from_dense(
+        &DenseMatrix::random(128, 256, 1),
+        SamoyedsConfig::DEFAULT,
+    )
+    .unwrap();
+    let input = SelInput::dense(DenseMatrix::random(256, 64, 2));
+    c.bench_function("samoyeds_fragmentwise_128x256x64", |b| {
+        b.iter(|| kernel.execute(&weight, &input).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_kernel_cost_models, bench_functional_samoyeds_kernel);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion benches over the MoE-layer and decoder-layer cost evaluation
+//! (Figures 14-16) and the routing substrate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::attention::AttentionKind;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::decoder::DecoderLayer;
+use samoyeds_moe::engines::{Engine, EngineKind};
+use samoyeds_moe::router::TopKRouter;
+
+fn bench_moe_layer_cost(c: &mut Criterion) {
+    let dev = DeviceSpec::rtx4070_super();
+    let cfg = MoeModelConfig::mixtral_8x7b();
+    let plan = TopKRouter::for_config(&cfg, 42).route(4096);
+    let mut group = c.benchmark_group("fig14_moe_layer_cost");
+    for kind in EngineKind::all() {
+        group.bench_with_input(BenchmarkId::new("engine", kind.name()), &kind, |b, &k| {
+            let engine = Engine::new(k, dev.clone());
+            b.iter(|| engine.moe_layer_cost(&cfg, 4096, &plan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_decoder_layer(c: &mut Criterion) {
+    let dev = DeviceSpec::rtx4070_super();
+    let cfg = MoeModelConfig::qwen2_moe();
+    let layer = DecoderLayer::new(dev, EngineKind::Samoyeds, AttentionKind::Flash);
+    c.bench_function("fig15_decoder_layer_cost_qwen2", |b| {
+        b.iter(|| layer.layer_cost(&cfg, 1, 4096))
+    });
+}
+
+fn bench_router(c: &mut Criterion) {
+    let cfg = MoeModelConfig::deepseek_moe();
+    let router = TopKRouter::for_config(&cfg, 7);
+    c.bench_function("router_4096_tokens_64_experts", |b| b.iter(|| router.route(4096)));
+}
+
+criterion_group!(benches, bench_moe_layer_cost, bench_decoder_layer, bench_router);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Experiment harness: one function per table and figure of the paper.
+//!
+//! Every function returns its result as a markdown table (a `Vec<String>` of
+//! lines) so the `experiments` binary can print it and write it into
+//! `results/`. The functions are deterministic and run entirely on the
+//! analytical cost model, so the full harness completes in seconds in
+//! release mode.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+pub use experiments::{all_experiments, run_experiment, Experiment};

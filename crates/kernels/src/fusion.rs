@@ -1,0 +1,140 @@
+//! Operator fusion for the MoE expert epilogue (§4.3, last paragraph).
+//!
+//! The Samoyeds kernel fuses the activation function with its producing
+//! projection, and the weighted accumulation (router weight broadcast + dot
+//! product) with the final projection. Fusion removes one full round-trip of
+//! the intermediate tensor through global memory per fused operator and
+//! eliminates the extra kernel launch.
+
+use samoyeds_gpu_sim::KernelProfile;
+use samoyeds_sparse::DenseMatrix;
+use serde::{Deserialize, Serialize};
+
+/// Activation functions used by the evaluated MoE models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Activation {
+    /// SiLU / swish (Mixtral, Qwen2-MoE, DeepSeek-MoE, MiniCPM-MoE).
+    Silu,
+    /// GELU (tanh approximation).
+    Gelu,
+    /// SwiGLU-style gated activation computed outside (identity here).
+    Identity,
+    /// ReLU (OpenMoE's distinct activation that MegaBlocks / vLLM-DS kernels
+    /// do not support — the `NS` entries of Figure 14).
+    Relu,
+}
+
+impl Activation {
+    /// Apply the activation to a scalar.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Silu => x / (1.0 + (-x).exp()),
+            Activation::Gelu => {
+                0.5 * x * (1.0 + (0.7978845608 * (x + 0.044715 * x * x * x)).tanh())
+            }
+            Activation::Identity => x,
+            Activation::Relu => x.max(0.0),
+        }
+    }
+
+    /// Apply element-wise to a matrix.
+    pub fn apply_matrix(&self, m: &DenseMatrix) -> DenseMatrix {
+        m.map(|x| self.apply(x))
+    }
+
+    /// FLOPs charged per element for this activation when it runs as its own
+    /// CUDA-core pass.
+    pub fn flops_per_element(&self) -> f64 {
+        match self {
+            Activation::Silu => 6.0,
+            Activation::Gelu => 10.0,
+            Activation::Identity => 0.0,
+            Activation::Relu => 1.0,
+        }
+    }
+}
+
+/// Fuse an element-wise epilogue (activation over an `m x n` bf16 tensor)
+/// into a producing kernel's profile: the epilogue FLOPs are added to the
+/// CUDA-core stream but the intermediate write + re-read disappears.
+pub fn fuse_elementwise_epilogue(profile: &mut KernelProfile, m: usize, n: usize, act: Activation) {
+    profile.flops_cuda += act.flops_per_element() * (m * n) as f64;
+    // No extra traffic: the values are transformed while still in registers.
+}
+
+/// The cost of running the same epilogue as a standalone kernel: read the
+/// intermediate, write the result, plus a launch overhead. Returns
+/// `(extra_read_bytes, extra_write_bytes, extra_cuda_flops, overhead_us)`.
+pub fn standalone_epilogue_cost(m: usize, n: usize, act: Activation) -> (f64, f64, f64, f64) {
+    let bytes = (m * n) as f64 * 2.0;
+    (bytes, bytes, act.flops_per_element() * (m * n) as f64, 5.0)
+}
+
+/// Fuse the weighted-accumulation epilogue (scale each output column by its
+/// router weight and accumulate into the shared output) into the profile.
+pub fn fuse_weighted_accumulation(profile: &mut KernelProfile, m: usize, n: usize) {
+    // One multiply + one add per element, still on the CUDA cores, and the
+    // accumulation target is written once (already counted by the producing
+    // kernel) instead of read-modify-written by a separate kernel.
+    profile.flops_cuda += 2.0 * (m * n) as f64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samoyeds_gpu_sim::LaunchConfig;
+
+    fn launch() -> LaunchConfig {
+        LaunchConfig {
+            grid_blocks: 64,
+            block_threads: 128,
+            regs_per_thread: 128,
+            shared_bytes_per_block: 32 * 1024,
+        }
+    }
+
+    #[test]
+    fn activation_values_are_sane() {
+        assert_eq!(Activation::Relu.apply(-1.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert_eq!(Activation::Identity.apply(3.5), 3.5);
+        // SiLU(0) = 0, SiLU(large) ~ large.
+        assert_eq!(Activation::Silu.apply(0.0), 0.0);
+        assert!((Activation::Silu.apply(10.0) - 10.0).abs() < 1e-2);
+        // GELU(0) = 0 and is monotone around the origin.
+        assert_eq!(Activation::Gelu.apply(0.0), 0.0);
+        assert!(Activation::Gelu.apply(1.0) > Activation::Gelu.apply(-1.0));
+    }
+
+    #[test]
+    fn apply_matrix_is_elementwise() {
+        let m = DenseMatrix::from_vec(1, 3, vec![-1.0, 0.0, 2.0]).unwrap();
+        let r = Activation::Relu.apply_matrix(&m);
+        assert_eq!(r.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn fusing_adds_flops_but_no_traffic() {
+        let mut p = KernelProfile::empty("k", launch());
+        let before_traffic = p.traffic.dram_bytes();
+        fuse_elementwise_epilogue(&mut p, 128, 256, Activation::Silu);
+        assert!(p.flops_cuda > 0.0);
+        assert_eq!(p.traffic.dram_bytes(), before_traffic);
+        fuse_weighted_accumulation(&mut p, 128, 256);
+        assert!(p.flops_cuda >= 6.0 * 128.0 * 256.0 + 2.0 * 128.0 * 256.0);
+    }
+
+    #[test]
+    fn standalone_epilogue_costs_a_round_trip() {
+        let (r, w, f, o) = standalone_epilogue_cost(128, 256, Activation::Gelu);
+        assert_eq!(r, 128.0 * 256.0 * 2.0);
+        assert_eq!(w, r);
+        assert!(f > 0.0);
+        assert!(o > 0.0);
+    }
+
+    #[test]
+    fn identity_epilogue_is_free_compute() {
+        assert_eq!(Activation::Identity.flops_per_element(), 0.0);
+    }
+}

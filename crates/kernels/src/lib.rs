@@ -1,0 +1,43 @@
+//! Simulated GPU matrix-multiplication kernels.
+//!
+//! Each kernel in this crate plays the role of one of the libraries compared
+//! in the paper's evaluation (§6.1):
+//!
+//! | module | stands in for | operands |
+//! |---|---|---|
+//! | [`gemm_dense`] | cuBLAS | dense x dense |
+//! | [`spmm_csr`] | Sputnik | unstructured CSR x dense |
+//! | [`spmm_nm`] | cuSPARSELt | 2:4 x dense |
+//! | [`spmm_venom`] | VENOM | V:N:M x dense |
+//! | [`samoyeds_kernel`] | Samoyeds (this paper) | (N,M,V) weight x SEL-sparse input |
+//!
+//! Every kernel provides the same two things:
+//!
+//! * an `execute(..)` entry point that computes a numerically correct result
+//!   on the CPU (validated against the dense reference in the test suites),
+//!   and
+//! * a `profile(..)` entry point that derives the kernel's
+//!   [`samoyeds_gpu_sim::KernelProfile`] (FLOPs, traffic, launch shape,
+//!   pipeline behaviour) from the problem dimensions alone, which the cost
+//!   model turns into a predicted GPU execution time.
+//!
+//! Keeping the two separate lets the correctness tests use small matrices
+//! while the benchmark harness sweeps the paper's full 238-point size grid
+//! analytically.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod autotune;
+pub mod fusion;
+pub mod gemm_dense;
+pub mod problem;
+pub mod samoyeds_kernel;
+pub mod spmm_csr;
+pub mod spmm_nm;
+pub mod spmm_venom;
+pub mod tiling;
+
+pub use problem::{GemmProblem, SparsityKind};
+pub use samoyeds_kernel::{SamoyedsKernel, SamoyedsOptions};
+pub use tiling::TilingConfig;

@@ -1,0 +1,156 @@
+//! Description of the matrix-multiplication problems the kernels solve.
+
+use samoyeds_sparse::samoyeds::SamoyedsConfig;
+use serde::{Deserialize, Serialize};
+
+/// The weight-side sparsity a kernel exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SparsityKind {
+    /// Dense weights (cuBLAS baseline).
+    Dense,
+    /// Unstructured sparsity at the given ratio (Sputnik baseline).
+    Unstructured {
+        /// Fraction of zero weights in `[0, 1)`.
+        sparsity: f64,
+    },
+    /// Hardware 2:4 sparsity (cuSPARSELt baseline), i.e. 50%.
+    TwoFour,
+    /// VENOM V:N:M sparsity at the given total ratio.
+    Venom {
+        /// Total fraction of zero weights (vector + 2:4 combined).
+        sparsity: f64,
+    },
+    /// Samoyeds (N,M,V) sparsity.
+    Samoyeds(SamoyedsConfig),
+}
+
+impl SparsityKind {
+    /// Fraction of the logical weight values that survives pruning.
+    pub fn keep_fraction(&self) -> f64 {
+        match self {
+            SparsityKind::Dense => 1.0,
+            SparsityKind::Unstructured { sparsity } => 1.0 - sparsity,
+            SparsityKind::TwoFour => 0.5,
+            SparsityKind::Venom { sparsity } => 1.0 - sparsity,
+            SparsityKind::Samoyeds(cfg) => 1.0 - cfg.sparsity(),
+        }
+    }
+}
+
+/// One `C[m x n] = A[m x k] * B[k x n]` problem, with optional input-side
+/// column sparsity (the MoE routing selection).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GemmProblem {
+    /// Output rows (weight rows in the MoE expert projection).
+    pub m: usize,
+    /// Reduction dimension.
+    pub k: usize,
+    /// Logical output columns (tokens in the MoE layer).
+    pub n: usize,
+    /// Number of input columns that are actually selected by routing
+    /// (`len_d` in Figure 8). Equal to `n` when the input is dense.
+    pub selected_n: usize,
+    /// Weight-side sparsity.
+    pub weight_sparsity: SparsityKind,
+}
+
+impl GemmProblem {
+    /// A dense problem (all columns selected, dense weights).
+    pub fn dense(m: usize, k: usize, n: usize) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            selected_n: n,
+            weight_sparsity: SparsityKind::Dense,
+        }
+    }
+
+    /// A Samoyeds dual-side sparse problem.
+    pub fn samoyeds(m: usize, k: usize, n: usize, selected_n: usize, cfg: SamoyedsConfig) -> Self {
+        Self {
+            m,
+            k,
+            n,
+            selected_n: selected_n.min(n),
+            weight_sparsity: SparsityKind::Samoyeds(cfg),
+        }
+    }
+
+    /// Logical FLOPs of the dense-equivalent product over the *selected*
+    /// columns (`2 * m * k * selected_n`).
+    pub fn logical_flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.selected_n as f64
+    }
+
+    /// Logical FLOPs if every column of the input were computed.
+    pub fn full_flops(&self) -> f64 {
+        2.0 * self.m as f64 * self.k as f64 * self.n as f64
+    }
+
+    /// Fraction of input columns selected.
+    pub fn input_density(&self) -> f64 {
+        if self.n == 0 {
+            return 1.0;
+        }
+        self.selected_n as f64 / self.n as f64
+    }
+
+    /// Dense weight bytes (bf16).
+    pub fn weight_bytes_dense(&self) -> f64 {
+        (self.m * self.k * 2) as f64
+    }
+
+    /// Dense input bytes over all logical columns (bf16).
+    pub fn input_bytes_dense(&self) -> f64 {
+        (self.k * self.n * 2) as f64
+    }
+
+    /// Output bytes over the selected columns (bf16).
+    pub fn output_bytes_selected(&self) -> f64 {
+        (self.m * self.selected_n * 2) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keep_fraction_per_kind() {
+        assert_eq!(SparsityKind::Dense.keep_fraction(), 1.0);
+        assert_eq!(SparsityKind::TwoFour.keep_fraction(), 0.5);
+        assert!((SparsityKind::Unstructured { sparsity: 0.9 }.keep_fraction() - 0.1).abs() < 1e-12);
+        assert!(
+            (SparsityKind::Samoyeds(SamoyedsConfig::DEFAULT).keep_fraction() - 0.25).abs() < 1e-12
+        );
+        assert!((SparsityKind::Venom { sparsity: 0.75 }.keep_fraction() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn problem_flop_accounting() {
+        let p = GemmProblem::dense(128, 256, 512);
+        assert_eq!(p.logical_flops(), 2.0 * 128.0 * 256.0 * 512.0);
+        assert_eq!(p.logical_flops(), p.full_flops());
+        assert_eq!(p.input_density(), 1.0);
+
+        let sp = GemmProblem::samoyeds(128, 256, 512, 128, SamoyedsConfig::DEFAULT);
+        assert_eq!(sp.selected_n, 128);
+        assert!((sp.input_density() - 0.25).abs() < 1e-12);
+        assert!(sp.logical_flops() < sp.full_flops());
+    }
+
+    #[test]
+    fn byte_accounting_uses_bf16() {
+        let p = GemmProblem::dense(64, 128, 32);
+        assert_eq!(p.weight_bytes_dense(), 64.0 * 128.0 * 2.0);
+        assert_eq!(p.input_bytes_dense(), 128.0 * 32.0 * 2.0);
+        assert_eq!(p.output_bytes_selected(), 64.0 * 32.0 * 2.0);
+    }
+
+    #[test]
+    fn selected_n_is_clamped_to_n() {
+        let p = GemmProblem::samoyeds(64, 64, 32, 100, SamoyedsConfig::DEFAULT);
+        assert_eq!(p.selected_n, 32);
+    }
+}

@@ -1,0 +1,97 @@
+//! Attention-layer cost model (standard and Flash-Attention), used by the
+//! time-breakdown experiment (Figure 2) and the end-to-end decoder layer.
+
+use crate::config::MoeModelConfig;
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_kernels::gemm_dense::DenseGemm;
+use samoyeds_kernels::GemmProblem;
+use serde::{Deserialize, Serialize};
+
+/// Which attention implementation the decoder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttentionKind {
+    /// Naive attention: scores and probabilities materialised in HBM.
+    Standard,
+    /// Flash-Attention 2: tiled, never materialises the `n x n` matrices.
+    Flash,
+}
+
+/// Predicted execution time of one attention block over `tokens` tokens.
+pub fn attention_time_ms(
+    device: &DeviceSpec,
+    config: &MoeModelConfig,
+    tokens: usize,
+    kind: AttentionKind,
+) -> f64 {
+    let h = config.hidden_size;
+    let gemm = DenseGemm::new(device.clone());
+
+    // Q, K, V and output projections: four h x h GEMMs over the tokens.
+    let proj = gemm.stats(&GemmProblem::dense(h, h, tokens)).time_ms * 4.0;
+
+    // Score (`QK^T`) and value (`PV`) products: 2 * tokens^2 * h FLOPs each,
+    // split across heads (head dimension h / heads).
+    let heads = config.num_heads.max(1);
+    let head_dim = (h / heads).max(1);
+    let mut score_ms = 0.0;
+    for _ in 0..1 {
+        let per_head_score = gemm
+            .stats(&GemmProblem::dense(tokens, head_dim, tokens))
+            .time_ms;
+        let per_head_value = gemm
+            .stats(&GemmProblem::dense(tokens, tokens, head_dim))
+            .time_ms;
+        score_ms += (per_head_score + per_head_value) * heads as f64;
+    }
+
+    match kind {
+        AttentionKind::Standard => {
+            // Softmax + the materialised n x n probability matrix round-trips
+            // through HBM (read + write of scores, read of probs).
+            let score_bytes = (tokens * tokens * heads) as f64 * 2.0;
+            let softmax_ms = (3.0 * score_bytes / (device.mem_bandwidth_gbps * 1e9)) * 1e3;
+            proj + score_ms + softmax_ms
+        }
+        AttentionKind::Flash => {
+            // Tiling keeps the scores on chip: the score/value products keep
+            // their FLOPs but lose the HBM round-trips; an extra 10% covers
+            // the online-softmax rescaling.
+            proj + score_ms * 0.65
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flash_attention_is_faster_than_standard() {
+        let device = DeviceSpec::rtx4070_super();
+        for config in [MoeModelConfig::mixtral_8x7b(), MoeModelConfig::qwen2_moe()] {
+            let std = attention_time_ms(&device, &config, 4096, AttentionKind::Standard);
+            let flash = attention_time_ms(&device, &config, 4096, AttentionKind::Flash);
+            assert!(flash < std, "{}: flash {flash} std {std}", config.name);
+        }
+    }
+
+    #[test]
+    fn attention_time_grows_superlinearly_with_sequence_length() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::mixtral_8x7b();
+        let t1 = attention_time_ms(&device, &config, 1024, AttentionKind::Flash);
+        let t4 = attention_time_ms(&device, &config, 4096, AttentionKind::Flash);
+        assert!(t4 > t1 * 3.5, "t1 {t1} t4 {t4}");
+    }
+
+    #[test]
+    fn standard_attention_gap_widens_with_sequence_length() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::minicpm_moe();
+        let ratio_short = attention_time_ms(&device, &config, 512, AttentionKind::Standard)
+            / attention_time_ms(&device, &config, 512, AttentionKind::Flash);
+        let ratio_long = attention_time_ms(&device, &config, 8192, AttentionKind::Standard)
+            / attention_time_ms(&device, &config, 8192, AttentionKind::Flash);
+        assert!(ratio_long > ratio_short);
+    }
+}

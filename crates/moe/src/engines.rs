@@ -1,0 +1,705 @@
+//! The MoE execution engines compared in the paper: Transformers (permute +
+//! per-expert dense GEMMs), MegaBlocks (block-sparse grouped GEMM), vLLM-DS
+//! (fused MoE kernel), PIT (permutation-invariant dynamic-sparsity compiler)
+//! and Samoyeds (dual-side structured sparsity on the Sparse Tensor Cores).
+//!
+//! Each engine converts a model configuration, a number of tokens and a
+//! routing plan into a [`LayerCost`]: the predicted MoE-layer execution time
+//! on a device plus the memory the layer's weights and transient activations
+//! occupy. The differences between engines are exactly the data-flow
+//! redundancies of §3.1 (permutation copies, un-permutation round trips,
+//! per-expert launches, padding) and the kernel each one can call.
+
+use crate::config::MoeModelConfig;
+use crate::expert::{ExpertWeights, SamoyedsExpertWeights};
+use crate::router::RoutingPlan;
+use samoyeds_gpu_sim::{CostModel, DeviceSpec};
+use samoyeds_kernels::fusion::{standalone_epilogue_cost, Activation};
+use samoyeds_kernels::gemm_dense::DenseGemm;
+use samoyeds_kernels::samoyeds_kernel::{SamoyedsKernel, SamoyedsOptions};
+use samoyeds_kernels::{GemmProblem, TilingConfig};
+use samoyeds_sparse::samoyeds::SamoyedsConfig;
+use samoyeds_sparse::{DenseMatrix, Result, SelInput, SelectionArray, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// Which execution engine a cost was produced by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EngineKind {
+    /// HuggingFace Transformers: permute, per-expert dense GEMMs, un-permute.
+    Transformers,
+    /// MegaBlocks: grouped block-sparse GEMM over all experts.
+    MegaBlocks,
+    /// vLLM-DS: fused MoE kernel (dense weights).
+    VllmDs,
+    /// PIT: permutation-invariant transformation of dynamic sparsity, dense
+    /// tensor cores only.
+    Pit,
+    /// Samoyeds: dual-side structured sparsity on Sparse Tensor Cores.
+    Samoyeds,
+}
+
+impl EngineKind {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EngineKind::Transformers => "Transformers",
+            EngineKind::MegaBlocks => "MegaBlocks",
+            EngineKind::VllmDs => "vLLM-DS",
+            EngineKind::Pit => "PIT",
+            EngineKind::Samoyeds => "Samoyeds",
+        }
+    }
+
+    /// All engines compared in Figure 14/15.
+    pub fn all() -> [EngineKind; 5] {
+        [
+            EngineKind::Transformers,
+            EngineKind::MegaBlocks,
+            EngineKind::VllmDs,
+            EngineKind::Pit,
+            EngineKind::Samoyeds,
+        ]
+    }
+}
+
+/// Predicted cost of executing one MoE layer (or one decoder layer when the
+/// attention cost is folded in by [`crate::decoder`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayerCost {
+    /// Predicted execution time in milliseconds.
+    pub time_ms: f64,
+    /// Bytes of model weights the engine keeps resident for this layer.
+    pub weight_bytes: f64,
+    /// Peak transient activation/workspace bytes for this many tokens.
+    pub activation_bytes: f64,
+    /// False when the engine cannot run this model at all (the `NS` entries
+    /// of Figure 14: MegaBlocks / vLLM-DS lack kernels for OpenMoE's
+    /// activation function).
+    pub supported: bool,
+}
+
+impl LayerCost {
+    /// An unsupported marker.
+    pub fn unsupported() -> Self {
+        Self {
+            time_ms: f64::INFINITY,
+            weight_bytes: 0.0,
+            activation_bytes: 0.0,
+            supported: false,
+        }
+    }
+
+    /// Total memory footprint (weights + activations).
+    pub fn total_bytes(&self) -> f64 {
+        self.weight_bytes + self.activation_bytes
+    }
+}
+
+/// An MoE execution engine bound to a device.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    kind: EngineKind,
+    device: DeviceSpec,
+    samoyeds_cfg: SamoyedsConfig,
+    samoyeds_options: SamoyedsOptions,
+}
+
+impl Engine {
+    /// Create an engine of the given kind on a device.
+    pub fn new(kind: EngineKind, device: DeviceSpec) -> Self {
+        Self {
+            kind,
+            device,
+            samoyeds_cfg: SamoyedsConfig::DEFAULT,
+            samoyeds_options: SamoyedsOptions::FULL,
+        }
+    }
+
+    /// Override the Samoyeds sparsity configuration (only meaningful for the
+    /// Samoyeds engine).
+    pub fn with_samoyeds_config(mut self, cfg: SamoyedsConfig) -> Self {
+        self.samoyeds_cfg = cfg;
+        self
+    }
+
+    /// Override the Samoyeds optimisation toggles (used by the Figure 17
+    /// breakdown).
+    pub fn with_samoyeds_options(mut self, options: SamoyedsOptions) -> Self {
+        self.samoyeds_options = options;
+        self
+    }
+
+    /// The engine kind.
+    pub fn kind(&self) -> EngineKind {
+        self.kind
+    }
+
+    /// The device the engine targets.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Whether the engine has kernels for this model (the `NS` rule).
+    pub fn supports(&self, config: &MoeModelConfig) -> bool {
+        match self.kind {
+            EngineKind::MegaBlocks | EngineKind::VllmDs => {
+                config.activation != Activation::Relu
+            }
+            _ => true,
+        }
+    }
+
+    /// Resident weight bytes for one MoE layer under this engine.
+    pub fn weight_bytes(&self, config: &MoeModelConfig) -> f64 {
+        let dense = config.params_per_moe_layer() as f64 * 2.0;
+        match self.kind {
+            // Dense bf16 weights.
+            EngineKind::Transformers | EngineKind::Pit => dense,
+            // MegaBlocks / vLLM keep the dense weights plus reordered /
+            // padded copies and per-expert workspace tensors sized with the
+            // weights; this is what costs them maximum batch size in Table 3.
+            EngineKind::MegaBlocks | EngineKind::VllmDs => dense * 2.5,
+            // Samoyeds stores the compressed (data + metadata + indices)
+            // form: 25% of the values, ~12.5% metadata overhead.
+            EngineKind::Samoyeds => {
+                dense * (1.0 - self.samoyeds_cfg.sparsity()) * 1.125
+                    + config.params_per_moe_layer() as f64 / self.samoyeds_cfg.v as f64
+            }
+        }
+    }
+
+    /// Peak transient activation bytes for `num_tokens` routed tokens.
+    pub fn activation_bytes(&self, config: &MoeModelConfig, num_tokens: usize) -> f64 {
+        let h = config.hidden_size as f64;
+        let i = config.intermediate_size as f64;
+        let t = num_tokens as f64;
+        let k = config.top_k as f64 + config.num_shared_experts as f64;
+        match self.kind {
+            // Permuted input copies + gate/up/intermediate buffers + expert
+            // outputs awaiting un-permutation, all at bf16.
+            EngineKind::Transformers => t * (2.0 * h * (1.0 + k) + 3.0 * i * k) * 2.0,
+            // No permutation copy, but block padding and grouped workspace.
+            EngineKind::MegaBlocks => t * (h * (1.0 + k) + 3.2 * i * k) * 2.0,
+            // Fused kernel keeps gate/up in flight but materialises the
+            // per-expert intermediate workspace.
+            EngineKind::VllmDs => t * (h + 2.5 * i * k) * 2.0,
+            EngineKind::Pit => t * (h + 2.2 * i * k) * 2.0,
+            // SEL-driven kernel: no permute copies, compressed intermediate
+            // layout, fused activation.
+            EngineKind::Samoyeds => t * (h + 1.2 * i * k) * 2.0,
+        }
+    }
+
+    /// Predicted cost of one MoE layer for `num_tokens` tokens routed by
+    /// `plan`.
+    pub fn moe_layer_cost(
+        &self,
+        config: &MoeModelConfig,
+        num_tokens: usize,
+        plan: &RoutingPlan,
+    ) -> LayerCost {
+        if !self.supports(config) {
+            return LayerCost::unsupported();
+        }
+        let time_ms = match self.kind {
+            EngineKind::Transformers => self.time_transformers(config, num_tokens, plan, false),
+            EngineKind::MegaBlocks => self.time_grouped(config, num_tokens, plan, 128, 0.9),
+            EngineKind::VllmDs => self.time_fused_dense(config, num_tokens, plan, 64),
+            EngineKind::Pit => self.time_pit(config, num_tokens, plan),
+            EngineKind::Samoyeds => self.time_samoyeds(config, num_tokens, plan),
+        };
+        LayerCost {
+            time_ms,
+            weight_bytes: self.weight_bytes(config),
+            activation_bytes: self.activation_bytes(config, num_tokens),
+            supported: true,
+        }
+    }
+
+    /// Expert GEMM helper: the three projections of one expert over `tokens`
+    /// tokens, costed with the dense cuBLAS-like kernel.
+    fn dense_expert_time_ms(&self, config: &MoeModelConfig, tokens: usize) -> f64 {
+        if tokens == 0 {
+            return 0.0;
+        }
+        let gemm = DenseGemm::new(self.device.clone());
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let gate = gemm.stats(&GemmProblem::dense(i, h, tokens)).time_ms;
+        let up = gemm.stats(&GemmProblem::dense(i, h, tokens)).time_ms;
+        let down = gemm.stats(&GemmProblem::dense(h, i, tokens)).time_ms;
+        gate + up + down
+    }
+
+    /// Extra time of an element-wise pass (activation or weighted
+    /// accumulation) executed as its own kernel over an `m x n` bf16 tensor.
+    fn elementwise_pass_ms(&self, m: usize, n: usize, act: Activation) -> f64 {
+        let (read, write, flops, overhead_us) = standalone_epilogue_cost(m, n, act);
+        let bandwidth = self.device.mem_bandwidth_gbps * 1e9;
+        let cuda = self.device.cuda_tflops_fp32 * 1e12 * 0.5;
+        ((read + write) / bandwidth + flops / cuda) * 1e3 + overhead_us * 1e-3
+    }
+
+    /// Cost of copying `bytes` through global memory (a permute / un-permute
+    /// data movement pass).
+    fn copy_pass_ms(&self, bytes: f64) -> f64 {
+        (2.0 * bytes / (self.device.mem_bandwidth_gbps * 1e9)) * 1e3 + 5.0e-3
+    }
+
+    /// Transformers-style execution: permute, per-expert dense GEMMs with
+    /// standalone activations, un-permute with weighted accumulation.
+    /// `fused_activation` is exposed so the Samoyeds "+W" breakdown point can
+    /// reuse this data flow with sparse kernels.
+    fn time_transformers(
+        &self,
+        config: &MoeModelConfig,
+        num_tokens: usize,
+        plan: &RoutingPlan,
+        weight_sparse: bool,
+    ) -> f64 {
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let mut total = 0.0;
+        // Input permutation: every routed token is copied into its expert's
+        // buffer.
+        let permuted_tokens: usize = (0..plan.num_experts()).map(|e| plan.tokens_for(e)).sum();
+        total += self.copy_pass_ms((permuted_tokens * h) as f64 * 2.0);
+        for e in 0..plan.num_experts() {
+            let tokens = plan.tokens_for(e);
+            if tokens == 0 {
+                continue;
+            }
+            total += if weight_sparse {
+                self.samoyeds_expert_time_ms(config, tokens, tokens, SamoyedsOptions::WEIGHT_ONLY)
+            } else {
+                self.dense_expert_time_ms(config, tokens)
+            };
+            // Standalone activation + gating multiply over the intermediate.
+            total += self.elementwise_pass_ms(i, tokens, config.activation);
+            total += self.elementwise_pass_ms(i, tokens, Activation::Identity);
+        }
+        // Shared experts process every token.
+        for _ in 0..config.num_shared_experts {
+            total += if weight_sparse {
+                self.samoyeds_expert_time_ms(
+                    config,
+                    num_tokens,
+                    num_tokens,
+                    SamoyedsOptions::WEIGHT_ONLY,
+                )
+            } else {
+                self.dense_expert_time_ms(config, num_tokens)
+            };
+            total += self.elementwise_pass_ms(i, num_tokens, config.activation);
+        }
+        // Weighted un-permutation: expert outputs are written to global
+        // memory, re-read, scaled and accumulated into the final output.
+        total += self.copy_pass_ms((permuted_tokens * h) as f64 * 2.0 * 2.0);
+        total += self.elementwise_pass_ms(h, num_tokens, Activation::Identity);
+        total
+    }
+
+    /// Grouped dense execution (MegaBlocks-like): one launch over all
+    /// experts, tokens padded to `block` per expert, partial fusion.
+    fn time_grouped(
+        &self,
+        config: &MoeModelConfig,
+        num_tokens: usize,
+        plan: &RoutingPlan,
+        block: usize,
+        fusion_quality: f64,
+    ) -> f64 {
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let gemm = DenseGemm::new(self.device.clone());
+        let mut gemm_ms = 0.0;
+        for e in 0..plan.num_experts() {
+            let tokens = plan.tokens_for(e);
+            if tokens == 0 {
+                continue;
+            }
+            let padded = tokens.div_ceil(block) * block;
+            gemm_ms += gemm.stats(&GemmProblem::dense(i, h, padded)).time_ms * 2.0;
+            gemm_ms += gemm.stats(&GemmProblem::dense(h, i, padded)).time_ms;
+        }
+        // Grouping removes the per-expert launch overheads except one, and
+        // fuses most of the element-wise work.
+        let launches_saved = (plan.num_experts().saturating_sub(1) * 3) as f64 * 5.0e-3;
+        let mut total = gemm_ms - launches_saved.min(gemm_ms * 0.1);
+        total += (1.0 - fusion_quality) * self.elementwise_pass_ms(i, num_tokens, config.activation);
+        // Shared experts are ordinary dense GEMMs.
+        for _ in 0..config.num_shared_experts {
+            total += self.dense_expert_time_ms(config, num_tokens);
+        }
+        // Token gather/scatter still happens once each way.
+        total += self.copy_pass_ms((plan.total_assignments() * h) as f64 * 2.0);
+        total
+    }
+
+    /// Fused dense MoE kernel (vLLM-DS-like): in-kernel gather, tokens padded
+    /// to the kernel tile, fused activation and accumulation.
+    fn time_fused_dense(
+        &self,
+        config: &MoeModelConfig,
+        num_tokens: usize,
+        plan: &RoutingPlan,
+        tile: usize,
+    ) -> f64 {
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let gemm = DenseGemm::new(self.device.clone());
+        let mut total = 0.0;
+        for e in 0..plan.num_experts() {
+            let tokens = plan.tokens_for(e);
+            if tokens == 0 {
+                continue;
+            }
+            let padded = tokens.div_ceil(tile) * tile;
+            total += gemm.stats(&GemmProblem::dense(i, h, padded)).time_ms * 2.0;
+            total += gemm.stats(&GemmProblem::dense(h, i, padded)).time_ms;
+        }
+        // The fused kernel eliminates the separate permute/un-permute passes
+        // and the element-wise kernels; only a small in-kernel gather cost
+        // proportional to the routed tokens remains.
+        total += self.copy_pass_ms((plan.total_assignments() * h) as f64 * 2.0) * 0.3;
+        for _ in 0..config.num_shared_experts {
+            total += self.dense_expert_time_ms(config, num_tokens);
+        }
+        total
+    }
+
+    /// PIT-like execution: micro-tile permutation invariant packing removes
+    /// padding waste entirely but the compute stays on the dense tensor
+    /// cores and the packing itself costs one extra pass over the tokens.
+    fn time_pit(&self, config: &MoeModelConfig, num_tokens: usize, plan: &RoutingPlan) -> f64 {
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let gemm = DenseGemm::new(self.device.clone());
+        let mut total = 0.0;
+        for e in 0..plan.num_experts() {
+            let tokens = plan.tokens_for(e);
+            if tokens == 0 {
+                continue;
+            }
+            // Micro-tiles of 16 remove almost all padding.
+            let padded = tokens.div_ceil(16) * 16;
+            total += gemm.stats(&GemmProblem::dense(i, h, padded)).time_ms * 2.0;
+            total += gemm.stats(&GemmProblem::dense(h, i, padded)).time_ms;
+        }
+        total += self.copy_pass_ms((plan.total_assignments() * h) as f64 * 2.0) * 0.5;
+        for _ in 0..config.num_shared_experts {
+            total += self.dense_expert_time_ms(config, num_tokens);
+        }
+        total
+    }
+
+    /// Cost of one expert (three projections) under the Samoyeds kernel with
+    /// the given options. `selected` is the number of routed tokens, `total`
+    /// the logical token count the SEL array indexes into.
+    fn samoyeds_expert_time_ms(
+        &self,
+        config: &MoeModelConfig,
+        selected: usize,
+        total: usize,
+        options: SamoyedsOptions,
+    ) -> f64 {
+        if selected == 0 {
+            return 0.0;
+        }
+        let h = config.hidden_size;
+        let i = config.intermediate_size;
+        let kernel = SamoyedsKernel::with_options(self.device.clone(), options);
+        // Padding to the kernel's N-tile (the §6.2 padding effect).
+        let nb = TilingConfig::DEFAULT_4070S.nb;
+        let padded = selected.div_ceil(nb.min(64)) * nb.min(64);
+        // With input sparsity the kernel indexes the full token buffer through
+        // the SEL array; without it (the "+W" data flow) the expert receives
+        // an already-gathered buffer of just its own tokens.
+        let logical_n = if options.input_sparsity { total.max(padded) } else { padded };
+        let gate = kernel
+            .stats(&GemmProblem::samoyeds(i, h, logical_n, padded, self.samoyeds_cfg))
+            .time_ms;
+        let down = kernel
+            .stats(&GemmProblem::samoyeds(h, i, padded, padded, self.samoyeds_cfg))
+            .time_ms;
+        gate * 2.0 + down
+    }
+
+    /// Samoyeds execution: dual-side sparse kernels straight off the SEL
+    /// arrays, fused activation and weighted accumulation, no permute
+    /// round-trips.
+    fn time_samoyeds(&self, config: &MoeModelConfig, num_tokens: usize, plan: &RoutingPlan) -> f64 {
+        let mut total = 0.0;
+        for e in 0..plan.num_experts() {
+            let tokens = plan.tokens_for(e);
+            total += self.samoyeds_expert_time_ms(config, tokens, num_tokens, self.samoyeds_options);
+        }
+        for _ in 0..config.num_shared_experts {
+            total +=
+                self.samoyeds_expert_time_ms(config, num_tokens, num_tokens, self.samoyeds_options);
+        }
+        // The weighted accumulation is fused; only the final dense output
+        // write remains, which the kernel already accounts for. A residual
+        // reduction across experts' compressed outputs costs one pass when
+        // the optimized layout is disabled (handled inside the kernel model).
+        if !self.samoyeds_options.input_sparsity {
+            // The "+W" configuration keeps the permute/un-permute flow.
+            let h = config.hidden_size;
+            total += self.copy_pass_ms((plan.total_assignments() * h) as f64 * 2.0 * 3.0);
+        }
+        total
+    }
+
+    /// Functional reference forward of the whole MoE layer under
+    /// Transformers-style semantics (gather → expert → weighted scatter),
+    /// used to validate that every engine computes the same function.
+    pub fn forward_reference(
+        experts: &[ExpertWeights],
+        x: &DenseMatrix,
+        plan: &RoutingPlan,
+    ) -> Result<DenseMatrix> {
+        if plan.num_experts() != experts.len() {
+            return Err(SparseError::config("expert count mismatch"));
+        }
+        let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+        for (e, weights) in experts.iter().enumerate() {
+            let sel = plan.selection(e)?;
+            if sel.is_empty() {
+                continue;
+            }
+            let gathered = x.select_columns(&sel.indices_usize())?;
+            let y = weights.forward(&gathered)?;
+            for (slot, &tok) in sel.indices().iter().enumerate() {
+                let w = plan.expert_weights[e][slot];
+                for r in 0..out.rows() {
+                    let cur = out.get(r, tok as usize);
+                    out.set(r, tok as usize, cur + w * y.get(r, slot));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Functional forward of the MoE layer through the Samoyeds kernel path
+    /// (SEL-driven sparse experts, weighted accumulation on the compressed
+    /// output). Numerically this differs from [`Self::forward_reference`]
+    /// only by the weight pruning error.
+    pub fn forward_samoyeds(
+        device: &DeviceSpec,
+        experts: &[SamoyedsExpertWeights],
+        x: &DenseMatrix,
+        plan: &RoutingPlan,
+    ) -> Result<DenseMatrix> {
+        let kernel = SamoyedsKernel::new(device.clone());
+        let mut out = DenseMatrix::zeros(x.rows(), x.cols());
+        for (e, weights) in experts.iter().enumerate() {
+            let sel = plan.selection(e)?;
+            if sel.is_empty() {
+                continue;
+            }
+            let input = SelInput::new(x.clone(), sel.clone())?;
+            let (gate_out, _) = kernel.execute(&weights.gate, &input)?;
+            let (up_out, _) = kernel.execute(&weights.up, &input)?;
+            let inter = weights.activation.apply_matrix(&gate_out).hadamard(&up_out)?;
+            let inter_input = SelInput::new(inter, SelectionArray::all(sel.len()))?;
+            let (down_out, _) = kernel.execute(&weights.down, &inter_input)?;
+            for (slot, &tok) in sel.indices().iter().enumerate() {
+                let w = plan.expert_weights[e][slot];
+                for r in 0..out.rows() {
+                    let cur = out.get(r, tok as usize);
+                    out.set(r, tok as usize, cur + w * down_out.get(r, slot));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Convenience: evaluate the MoE-layer time of every engine on the same
+    /// routing plan, in [`EngineKind::all`] order.
+    pub fn compare_all(
+        device: &DeviceSpec,
+        config: &MoeModelConfig,
+        num_tokens: usize,
+        plan: &RoutingPlan,
+    ) -> Vec<(EngineKind, LayerCost)> {
+        EngineKind::all()
+            .into_iter()
+            .map(|kind| {
+                let cost = Engine::new(kind, device.clone()).moe_layer_cost(config, num_tokens, plan);
+                (kind, cost)
+            })
+            .collect()
+    }
+
+    /// The cost model bound to this engine's device (handy for callers that
+    /// want to evaluate extra kernels consistently).
+    pub fn cost_model(&self) -> CostModel {
+        CostModel::new(self.device.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::router::TopKRouter;
+
+    fn plan_for(config: &MoeModelConfig, tokens: usize) -> RoutingPlan {
+        TopKRouter::for_config(config, 7).route(tokens)
+    }
+
+    #[test]
+    fn engine_names_and_all() {
+        assert_eq!(EngineKind::all().len(), 5);
+        assert_eq!(EngineKind::Samoyeds.name(), "Samoyeds");
+        assert_eq!(EngineKind::VllmDs.name(), "vLLM-DS");
+    }
+
+    #[test]
+    fn ns_rule_for_openmoe() {
+        let device = DeviceSpec::rtx4070_super();
+        let openmoe = MoeModelConfig::openmoe_34b();
+        assert!(!Engine::new(EngineKind::MegaBlocks, device.clone()).supports(&openmoe));
+        assert!(!Engine::new(EngineKind::VllmDs, device.clone()).supports(&openmoe));
+        assert!(Engine::new(EngineKind::Transformers, device.clone()).supports(&openmoe));
+        assert!(Engine::new(EngineKind::Samoyeds, device.clone()).supports(&openmoe));
+        let cost = Engine::new(EngineKind::VllmDs, device).moe_layer_cost(
+            &openmoe,
+            256,
+            &plan_for(&openmoe, 256),
+        );
+        assert!(!cost.supported);
+        assert!(cost.time_ms.is_infinite());
+    }
+
+    #[test]
+    fn samoyeds_is_fastest_on_mixtral_moe_layer() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::mixtral_8x7b();
+        let plan = plan_for(&config, 4096);
+        let results = Engine::compare_all(&device, &config, 4096, &plan);
+        let time = |k: EngineKind| {
+            results
+                .iter()
+                .find(|(kind, _)| *kind == k)
+                .map(|(_, c)| c.time_ms)
+                .unwrap()
+        };
+        let samoyeds = time(EngineKind::Samoyeds);
+        let transformers = time(EngineKind::Transformers);
+        let megablocks = time(EngineKind::MegaBlocks);
+        let vllm = time(EngineKind::VllmDs);
+        assert!(samoyeds < transformers, "samoyeds {samoyeds} transformers {transformers}");
+        assert!(samoyeds < megablocks, "samoyeds {samoyeds} megablocks {megablocks}");
+        assert!(samoyeds < vllm, "samoyeds {samoyeds} vllm {vllm}");
+        // The speedup over Transformers must be substantial but not an
+        // implausible order of magnitude. (The simulation omits the Python
+        // framework overheads of HuggingFace Transformers, so the ratio runs
+        // higher than the paper's 1.45x average — see EXPERIMENTS.md.)
+        let speedup = transformers / samoyeds;
+        assert!(speedup > 1.2 && speedup < 6.0, "speedup {speedup}");
+        // The fused baselines beat plain Transformers.
+        assert!(vllm < transformers);
+    }
+
+    #[test]
+    fn samoyeds_weight_bytes_are_a_fraction_of_dense() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::mixtral_8x7b();
+        let dense = Engine::new(EngineKind::Transformers, device.clone()).weight_bytes(&config);
+        let samoyeds = Engine::new(EngineKind::Samoyeds, device.clone()).weight_bytes(&config);
+        let vllm = Engine::new(EngineKind::VllmDs, device).weight_bytes(&config);
+        assert!(samoyeds < dense * 0.4);
+        assert!(vllm > dense); // workspace copies
+    }
+
+    #[test]
+    fn activation_bytes_ordering_matches_memory_claims() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::mixtral_8x7b();
+        let tokens = 4096;
+        let act = |k| Engine::new(k, device.clone()).activation_bytes(&config, tokens);
+        assert!(act(EngineKind::Samoyeds) < act(EngineKind::VllmDs));
+        assert!(act(EngineKind::Samoyeds) < act(EngineKind::Transformers));
+        assert!(act(EngineKind::VllmDs) < act(EngineKind::Transformers));
+    }
+
+    #[test]
+    fn shared_expert_models_cost_more_than_without() {
+        let device = DeviceSpec::rtx4070_super();
+        let mut config = MoeModelConfig::qwen2_moe();
+        let plan = plan_for(&config, 1024);
+        let with_shared = Engine::new(EngineKind::Samoyeds, device.clone())
+            .moe_layer_cost(&config, 1024, &plan)
+            .time_ms;
+        config.num_shared_experts = 0;
+        let without = Engine::new(EngineKind::Samoyeds, device)
+            .moe_layer_cost(&config, 1024, &plan)
+            .time_ms;
+        assert!(with_shared > without);
+    }
+
+    #[test]
+    fn functional_reference_and_samoyeds_paths_agree_on_tiny_model() {
+        let config = MoeModelConfig::tiny_test();
+        let device = DeviceSpec::rtx4070_super();
+        let experts: Vec<ExpertWeights> = (0..config.num_experts)
+            .map(|e| ExpertWeights::random(&config, e, 11))
+            .collect();
+        let pruned: Vec<SamoyedsExpertWeights> = experts
+            .iter()
+            .map(|w| w.prune_samoyeds(SamoyedsConfig::DEFAULT).unwrap())
+            .collect();
+        let x = DenseMatrix::random(config.hidden_size, 24, 13);
+        let plan = TopKRouter::for_config(&config, 17).route(24);
+
+        let reference = Engine::forward_reference(&experts, &x, &plan).unwrap();
+        let samoyeds = Engine::forward_samoyeds(&device, &pruned, &x, &plan).unwrap();
+        assert_eq!(reference.shape(), samoyeds.shape());
+
+        // The two paths use the *same pruned weights* check: run the
+        // reference data flow on the pruned experts' dense expansions and it
+        // must match the kernel path almost exactly.
+        let pruned_dense: Vec<ExpertWeights> = pruned
+            .iter()
+            .map(|p| ExpertWeights {
+                gate: samoyeds_sparse::SparseFormat::to_dense(&p.gate),
+                up: samoyeds_sparse::SparseFormat::to_dense(&p.up),
+                down: samoyeds_sparse::SparseFormat::to_dense(&p.down),
+                activation: p.activation,
+            })
+            .collect();
+        let reference_pruned = Engine::forward_reference(&pruned_dense, &x, &plan).unwrap();
+        assert!(
+            samoyeds.allclose(&reference_pruned, 1e-2, 1e-2),
+            "max diff {}",
+            samoyeds.max_abs_diff(&reference_pruned)
+        );
+        // And the pruned output stays in the same ballpark as the dense one.
+        let rel = reference
+            .add(&samoyeds.scale(-1.0))
+            .unwrap()
+            .frobenius_norm()
+            / reference.frobenius_norm().max(1e-6);
+        assert!(rel < 1.0, "relative error {rel}");
+    }
+
+    #[test]
+    fn breakdown_options_order_holds_at_the_layer_level() {
+        let device = DeviceSpec::rtx4070_super();
+        let config = MoeModelConfig::deepseek_moe();
+        let plan = plan_for(&config, 4096);
+        let time = |opts: SamoyedsOptions| {
+            Engine::new(EngineKind::Samoyeds, device.clone())
+                .with_samoyeds_options(opts)
+                .moe_layer_cost(&config, 4096, &plan)
+                .time_ms
+        };
+        let w = time(SamoyedsOptions::WEIGHT_ONLY);
+        let wi = time(SamoyedsOptions::WEIGHT_INPUT);
+        let wit = time(SamoyedsOptions::WEIGHT_INPUT_LAYOUT);
+        let wits = time(SamoyedsOptions::FULL);
+        assert!(wi < w, "WI {wi} vs W {w}");
+        assert!(wit < wi);
+        assert!(wits < wit);
+    }
+}

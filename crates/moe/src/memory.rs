@@ -1,0 +1,219 @@
+//! Memory-footprint model and the maximum-batch-size solver (Table 3,
+//! Figure 16's OOM boundaries).
+//!
+//! The experiments measure a single decoder layer, so the resident state is
+//! one layer's weights (under whichever representation the engine uses), the
+//! attention projections, the KV cache for the processed tokens and the
+//! transient activation workspace of the MoE execution engine. The maximum
+//! batch size is the largest batch whose total footprint still fits the
+//! device memory (with a small reserve for the allocator and CUDA context).
+
+use crate::config::MoeModelConfig;
+use crate::engines::{Engine, EngineKind};
+use samoyeds_gpu_sim::DeviceSpec;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of the device memory usable by the workload (the rest goes to
+/// the context, allocator fragmentation and framework overheads).
+pub const USABLE_FRACTION: f64 = 0.95;
+
+/// Memory footprint of one decoder layer at a given batch size.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryFootprint {
+    /// MoE weight bytes under the engine's representation.
+    pub moe_weight_bytes: f64,
+    /// Attention projection weight bytes.
+    pub attention_weight_bytes: f64,
+    /// KV-cache bytes for the processed tokens.
+    pub kv_cache_bytes: f64,
+    /// Transient activation / workspace bytes.
+    pub activation_bytes: f64,
+}
+
+impl MemoryFootprint {
+    /// Total bytes.
+    pub fn total(&self) -> f64 {
+        self.moe_weight_bytes + self.attention_weight_bytes + self.kv_cache_bytes + self.activation_bytes
+    }
+}
+
+/// Compute the footprint of one decoder layer for `batch` sequences of
+/// `seq_len` tokens under `engine_kind`.
+pub fn footprint(
+    device: &DeviceSpec,
+    engine_kind: EngineKind,
+    config: &MoeModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> MemoryFootprint {
+    let engine = Engine::new(engine_kind, device.clone());
+    let seq = seq_len.min(config.max_seq_len);
+    let tokens = batch * seq;
+    MemoryFootprint {
+        moe_weight_bytes: engine.weight_bytes(config),
+        attention_weight_bytes: config.params_per_attention() as f64 * 2.0,
+        kv_cache_bytes: 2.0 * tokens as f64 * config.hidden_size as f64 * 2.0,
+        activation_bytes: engine.activation_bytes(config, tokens),
+    }
+}
+
+/// Whether a batch of the given size fits on the device.
+pub fn fits(
+    device: &DeviceSpec,
+    engine_kind: EngineKind,
+    config: &MoeModelConfig,
+    batch: usize,
+    seq_len: usize,
+) -> bool {
+    let budget = device.mem_capacity_gib * 1024.0 * 1024.0 * 1024.0 * USABLE_FRACTION;
+    footprint(device, engine_kind, config, batch, seq_len).total() <= budget
+}
+
+/// Maximum batch size (0 if even batch 1 does not fit — the OOM entries of
+/// Table 3). Engines that do not support the model also report 0.
+pub fn max_batch_size(
+    device: &DeviceSpec,
+    engine_kind: EngineKind,
+    config: &MoeModelConfig,
+    seq_len: usize,
+) -> usize {
+    let engine = Engine::new(engine_kind, device.clone());
+    if !engine.supports(config) {
+        return 0;
+    }
+    if !fits(device, engine_kind, config, 1, seq_len) {
+        return 0;
+    }
+    // Exponential probe then binary search.
+    let mut lo = 1usize;
+    let mut hi = 2usize;
+    while fits(device, engine_kind, config, hi, seq_len) && hi < 1 << 20 {
+        lo = hi;
+        hi *= 2;
+    }
+    while lo + 1 < hi {
+        let mid = (lo + hi) / 2;
+        if fits(device, engine_kind, config, mid, seq_len) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// The per-model sequence length convention of the batch-size experiments:
+/// 4096 for the small-expert models (CFG#1), 1024 for the larger ones, capped
+/// by the model's maximum.
+pub fn batch_experiment_seq_len(config: &MoeModelConfig) -> usize {
+    let seq = if config.cfg_group == "CFG#1" { 4096 } else { 1024 };
+    seq.min(config.max_seq_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn device() -> DeviceSpec {
+        DeviceSpec::rtx4070_super()
+    }
+
+    #[test]
+    fn footprint_components_are_positive_and_scale_with_batch() {
+        let config = MoeModelConfig::mixtral_8x7b();
+        let f1 = footprint(&device(), EngineKind::Transformers, &config, 1, 1024);
+        let f8 = footprint(&device(), EngineKind::Transformers, &config, 8, 1024);
+        assert!(f1.total() > 0.0);
+        assert_eq!(f1.moe_weight_bytes, f8.moe_weight_bytes);
+        assert!(f8.kv_cache_bytes > f1.kv_cache_bytes);
+        assert!(f8.activation_bytes > f1.activation_bytes);
+        assert!(f8.total() > f1.total());
+    }
+
+    #[test]
+    fn samoyeds_supports_larger_batches_than_every_baseline() {
+        // The Table 3 headline: Samoyeds' compressed weights and leaner
+        // activation workspace buy batch-size headroom on every model.
+        for config in MoeModelConfig::table2() {
+            let seq = batch_experiment_seq_len(&config);
+            let samoyeds = max_batch_size(&device(), EngineKind::Samoyeds, &config, seq);
+            let transformers = max_batch_size(&device(), EngineKind::Transformers, &config, seq);
+            let megablocks = max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq);
+            let vllm = max_batch_size(&device(), EngineKind::VllmDs, &config, seq);
+            assert!(
+                samoyeds > transformers,
+                "{}: samoyeds {samoyeds} vs transformers {transformers}",
+                config.name
+            );
+            assert!(samoyeds > megablocks);
+            assert!(samoyeds > vllm);
+        }
+    }
+
+    #[test]
+    fn fused_baselines_lose_batch_headroom_to_transformers() {
+        // MegaBlocks / vLLM-DS support fewer batches than Transformers
+        // because of their workspace copies (Table 3).
+        let config = MoeModelConfig::mixtral_8x7b();
+        let seq = batch_experiment_seq_len(&config);
+        let transformers = max_batch_size(&device(), EngineKind::Transformers, &config, seq);
+        let vllm = max_batch_size(&device(), EngineKind::VllmDs, &config, seq);
+        let megablocks = max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq);
+        assert!(vllm < transformers);
+        assert!(megablocks < transformers);
+        assert!(vllm > 0);
+    }
+
+    #[test]
+    fn mixtral_8x22b_ooms_on_the_fused_baselines_but_not_on_samoyeds() {
+        let config = MoeModelConfig::mixtral_8x22b();
+        let seq = batch_experiment_seq_len(&config);
+        assert_eq!(max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq), 0);
+        assert_eq!(max_batch_size(&device(), EngineKind::VllmDs, &config, seq), 0);
+        assert!(max_batch_size(&device(), EngineKind::Transformers, &config, seq) > 0);
+        assert!(max_batch_size(&device(), EngineKind::Samoyeds, &config, seq) > 0);
+    }
+
+    #[test]
+    fn unsupported_models_report_zero() {
+        let config = MoeModelConfig::openmoe_34b();
+        let seq = batch_experiment_seq_len(&config);
+        assert_eq!(max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq), 0);
+        assert!(max_batch_size(&device(), EngineKind::Samoyeds, &config, seq) > 0);
+    }
+
+    #[test]
+    fn larger_devices_fit_larger_batches() {
+        let config = MoeModelConfig::mixtral_8x7b();
+        let seq = batch_experiment_seq_len(&config);
+        let small = max_batch_size(&DeviceSpec::rtx4070_super(), EngineKind::Samoyeds, &config, seq);
+        let big = max_batch_size(&DeviceSpec::a100_40g(), EngineKind::Samoyeds, &config, seq);
+        assert!(big > small);
+    }
+
+    #[test]
+    fn average_boost_over_best_baseline_is_substantial() {
+        // The paper reports a 4.41x average increase over the best baseline
+        // (dominated by OpenMoE's 18.67x); our model should land well above
+        // 1.5x on average with every per-model boost >= 1.
+        let mut boosts = Vec::new();
+        for config in MoeModelConfig::table2() {
+            let seq = batch_experiment_seq_len(&config);
+            let samoyeds = max_batch_size(&device(), EngineKind::Samoyeds, &config, seq) as f64;
+            let best_baseline = [
+                EngineKind::Transformers,
+                EngineKind::MegaBlocks,
+                EngineKind::VllmDs,
+            ]
+            .into_iter()
+            .map(|k| max_batch_size(&device(), k, &config, seq))
+            .max()
+            .unwrap() as f64;
+            assert!(best_baseline >= 1.0, "{} baseline OOM", config.name);
+            boosts.push(samoyeds / best_baseline);
+        }
+        let avg = boosts.iter().sum::<f64>() / boosts.len() as f64;
+        assert!(avg > 1.5, "average boost {avg}");
+        assert!(boosts.iter().all(|&b| b >= 1.0));
+    }
+}

@@ -1,0 +1,198 @@
+//! Top-k token routing and the per-expert selection arrays.
+//!
+//! The router is where the input-side sparsity of the Samoyeds format comes
+//! from: each token is dispatched to `top_k` of the routed experts (plus all
+//! shared experts), so from the perspective of one expert the activation
+//! matrix is column-sparse with a dynamic pattern. To keep experiments
+//! deterministic the simulated router draws token-to-expert affinities from a
+//! seeded RNG; the distribution can be uniform or mildly skewed, matching the
+//! balanced-routing regime the paper evaluates in (identical inputs across
+//! engines, §6.3).
+
+use crate::config::MoeModelConfig;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use samoyeds_sparse::{Result, SelectionArray, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// The routing decision for one batch of tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoutingPlan {
+    /// Number of routed tokens.
+    pub num_tokens: usize,
+    /// Experts activated per token.
+    pub top_k: usize,
+    /// For each expert, the ascending token indices routed to it.
+    pub expert_tokens: Vec<Vec<u32>>,
+    /// For each expert, the router weight of each routed token (same order
+    /// as `expert_tokens`).
+    pub expert_weights: Vec<Vec<f32>>,
+}
+
+impl RoutingPlan {
+    /// The selection array of one expert (the `SEL` operand of the kernel).
+    pub fn selection(&self, expert: usize) -> Result<SelectionArray> {
+        let tokens = self
+            .expert_tokens
+            .get(expert)
+            .ok_or_else(|| SparseError::config(format!("expert {expert} out of range")))?;
+        SelectionArray::new(self.num_tokens, tokens.clone())
+    }
+
+    /// Number of experts in the plan.
+    pub fn num_experts(&self) -> usize {
+        self.expert_tokens.len()
+    }
+
+    /// Tokens routed to `expert`.
+    pub fn tokens_for(&self, expert: usize) -> usize {
+        self.expert_tokens.get(expert).map_or(0, |t| t.len())
+    }
+
+    /// The largest per-expert token count (drives padding overhead).
+    pub fn max_tokens_per_expert(&self) -> usize {
+        self.expert_tokens.iter().map(|t| t.len()).max().unwrap_or(0)
+    }
+
+    /// Load imbalance: max per-expert tokens over the balanced average.
+    pub fn imbalance(&self) -> f64 {
+        let avg = self.num_tokens as f64 * self.top_k as f64 / self.num_experts().max(1) as f64;
+        if avg == 0.0 {
+            return 1.0;
+        }
+        self.max_tokens_per_expert() as f64 / avg
+    }
+
+    /// Total token-expert assignments (must equal `num_tokens * top_k`).
+    pub fn total_assignments(&self) -> usize {
+        self.expert_tokens.iter().map(|t| t.len()).sum()
+    }
+}
+
+/// A deterministic top-k router.
+#[derive(Debug, Clone)]
+pub struct TopKRouter {
+    num_experts: usize,
+    top_k: usize,
+    seed: u64,
+}
+
+impl TopKRouter {
+    /// Build a router for a model configuration.
+    pub fn for_config(config: &MoeModelConfig, seed: u64) -> Self {
+        Self {
+            num_experts: config.num_experts,
+            top_k: config.top_k,
+            seed,
+        }
+    }
+
+    /// Build a router with explicit parameters.
+    pub fn new(num_experts: usize, top_k: usize, seed: u64) -> Result<Self> {
+        if top_k == 0 || top_k > num_experts {
+            return Err(SparseError::config(format!(
+                "top_k {top_k} must be in 1..={num_experts}"
+            )));
+        }
+        Ok(Self {
+            num_experts,
+            top_k,
+            seed,
+        })
+    }
+
+    /// Route `num_tokens` tokens: each token picks `top_k` distinct experts
+    /// uniformly at random and receives softmax-normalised router weights.
+    pub fn route(&self, num_tokens: usize) -> RoutingPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        let mut expert_tokens: Vec<Vec<u32>> = vec![Vec::new(); self.num_experts];
+        let mut expert_weights: Vec<Vec<f32>> = vec![Vec::new(); self.num_experts];
+        let mut experts: Vec<usize> = (0..self.num_experts).collect();
+        for token in 0..num_tokens {
+            experts.shuffle(&mut rng);
+            let chosen = &experts[..self.top_k];
+            // Softmax over random logits for the chosen experts.
+            let logits: Vec<f32> = chosen.iter().map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let max = logits.iter().cloned().fold(f32::MIN, f32::max);
+            let exps: Vec<f32> = logits.iter().map(|l| (l - max).exp()).collect();
+            let sum: f32 = exps.iter().sum();
+            for (&e, w) in chosen.iter().zip(exps.iter()) {
+                expert_tokens[e].push(token as u32);
+                expert_weights[e].push(w / sum);
+            }
+        }
+        RoutingPlan {
+            num_tokens,
+            top_k: self.top_k,
+            expert_tokens,
+            expert_weights,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn router_validates_top_k() {
+        assert!(TopKRouter::new(8, 0, 1).is_err());
+        assert!(TopKRouter::new(8, 9, 1).is_err());
+        assert!(TopKRouter::new(8, 2, 1).is_ok());
+    }
+
+    #[test]
+    fn routing_is_deterministic_per_seed() {
+        let r = TopKRouter::new(8, 2, 42).unwrap();
+        assert_eq!(r.route(128), r.route(128));
+        let r2 = TopKRouter::new(8, 2, 43).unwrap();
+        assert_ne!(r.route(128), r2.route(128));
+    }
+
+    #[test]
+    fn every_token_gets_exactly_top_k_experts() {
+        let r = TopKRouter::new(16, 4, 7).unwrap();
+        let plan = r.route(256);
+        assert_eq!(plan.total_assignments(), 256 * 4);
+        // Token indices are strictly increasing per expert (required by the
+        // SelectionArray constructor).
+        for e in 0..plan.num_experts() {
+            let sel = plan.selection(e).unwrap();
+            assert_eq!(sel.len(), plan.tokens_for(e));
+            assert_eq!(sel.total(), 256);
+        }
+        assert!(plan.selection(99).is_err());
+    }
+
+    #[test]
+    fn router_weights_are_normalised_per_token() {
+        let r = TopKRouter::new(8, 2, 9).unwrap();
+        let plan = r.route(64);
+        // Sum of weights across experts for each token must be ~1.
+        let mut per_token = vec![0.0f32; 64];
+        for e in 0..plan.num_experts() {
+            for (i, &t) in plan.expert_tokens[e].iter().enumerate() {
+                per_token[t as usize] += plan.expert_weights[e][i];
+            }
+        }
+        for (t, w) in per_token.iter().enumerate() {
+            assert!((w - 1.0).abs() < 1e-5, "token {t} weight sum {w}");
+        }
+    }
+
+    #[test]
+    fn load_is_roughly_balanced_for_uniform_routing() {
+        let cfg = MoeModelConfig::mixtral_8x7b();
+        let r = TopKRouter::for_config(&cfg, 3);
+        let plan = r.route(4096);
+        // Uniform random routing keeps the imbalance mild.
+        assert!(plan.imbalance() < 1.35, "imbalance {}", plan.imbalance());
+        let expected_avg = 4096.0 * 2.0 / 8.0;
+        for e in 0..8 {
+            let frac = plan.tokens_for(e) as f64 / expected_avg;
+            assert!(frac > 0.7 && frac < 1.3, "expert {e} load fraction {frac}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! WoodFisher-style second-order pruning (diagonal empirical Fisher).
+//!
+//! WoodFisher scores each weight by the loss increase its removal causes,
+//! approximated with (the diagonal of) the empirical Fisher information
+//! computed from calibration gradients: `score(w) = w^2 * F_diag`. Weights
+//! whose removal barely moves the loss are pruned first. The full WoodFisher
+//! also applies an update to the surviving weights; we implement the
+//! widely-used diagonal variant (equivalent to Optimal Brain Damage), which
+//! is enough to rank formats the way the paper's Table 4/5 do.
+
+use samoyeds_sparse::prune::{apply_mask_of, prune, PruneFormat, PrunedWeight};
+use samoyeds_sparse::{DenseMatrix, Result};
+
+/// Estimate the diagonal of the empirical Fisher information of a linear
+/// layer `y = W x` under squared loss, from calibration inputs `x`
+/// (`in_features x samples`): `F_jj ∝ E[x_j^2]`, broadcast over output rows.
+pub fn fisher_diagonal(calibration: &DenseMatrix) -> Vec<f64> {
+    let samples = calibration.cols().max(1) as f64;
+    (0..calibration.rows())
+        .map(|j| {
+            (0..calibration.cols())
+                .map(|s| (calibration.get(j, s) as f64).powi(2))
+                .sum::<f64>()
+                / samples
+        })
+        .collect()
+}
+
+/// Prune `weight` (`out x in`) into `format` using WoodFisher-style scores
+/// `w_ij^2 * F_jj` computed from `calibration` (`in x samples`).
+///
+/// The scored matrix is pruned by the format-specific magnitude pruner (which
+/// selects by |score|), and the resulting mask is applied to the original
+/// weights — i.e. the saliency criterion decides *what* to keep, the kept
+/// values stay exact.
+pub fn prune_woodfisher(
+    weight: &DenseMatrix,
+    calibration: &DenseMatrix,
+    format: PruneFormat,
+) -> Result<PrunedWeight> {
+    let fisher = fisher_diagonal(calibration);
+    let scored = DenseMatrix::from_fn(weight.rows(), weight.cols(), |r, c| {
+        let f = fisher.get(c).copied().unwrap_or(1.0).max(1e-12) as f32;
+        weight.get(r, c) * f.sqrt()
+    });
+    let scored_pruned = prune(&scored, format)?;
+    let masked = apply_mask_of(&scored_pruned, weight)?;
+    prune(&masked, format)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use samoyeds_sparse::nm::NmConfig;
+
+    #[test]
+    fn fisher_diagonal_reflects_input_power() {
+        // Feature 0 has large activations, feature 2 is almost silent.
+        let calib = DenseMatrix::from_vec(3, 4, vec![
+            10.0, -9.0, 11.0, -10.0, //
+            1.0, 1.0, -1.0, -1.0, //
+            0.01, 0.0, -0.01, 0.0,
+        ])
+        .unwrap();
+        let f = fisher_diagonal(&calib);
+        assert!(f[0] > f[1] && f[1] > f[2]);
+    }
+
+    #[test]
+    fn woodfisher_keeps_weights_on_high_power_inputs() {
+        // Two equal-magnitude weights per group; the one multiplying the
+        // high-power input must survive.
+        let weight = DenseMatrix::from_vec(1, 4, vec![1.0, 1.0, 1.0, 1.0]).unwrap();
+        let mut calib = DenseMatrix::zeros(4, 8);
+        for s in 0..8 {
+            calib.set(0, s, 5.0); // high power
+            calib.set(1, s, 0.1);
+            calib.set(2, s, 4.0); // second highest
+            calib.set(3, s, 0.1);
+        }
+        let pruned = prune_woodfisher(
+            &weight,
+            &calib,
+            PruneFormat::Nm(NmConfig::TWO_FOUR),
+        )
+        .unwrap();
+        let dense = pruned.to_dense();
+        assert_eq!(dense.get(0, 0), 1.0);
+        assert_eq!(dense.get(0, 2), 1.0);
+        assert_eq!(dense.get(0, 1), 0.0);
+        assert_eq!(dense.get(0, 3), 0.0);
+    }
+
+    #[test]
+    fn woodfisher_preserves_surviving_values_exactly() {
+        let weight = DenseMatrix::random(16, 32, 4);
+        let calib = DenseMatrix::random(32, 64, 5);
+        let pruned = prune_woodfisher(&weight, &calib, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
+        let dense = pruned.to_dense();
+        for r in 0..16 {
+            for c in 0..32 {
+                let v = dense.get(r, c);
+                assert!(v == 0.0 || v == weight.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_calibration_reduces_to_magnitude_pruning() {
+        let weight = DenseMatrix::random(8, 16, 6);
+        let calib = DenseMatrix::from_fn(16, 32, |_, _| 1.0);
+        let wf = prune_woodfisher(&weight, &calib, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
+        let mag = prune(&weight, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
+        assert_eq!(wf.to_dense(), mag.to_dense());
+    }
+}

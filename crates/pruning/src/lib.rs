@@ -1,0 +1,25 @@
+//! Pruning algorithms and the synthetic accuracy harness behind the paper's
+//! accuracy study (§6.5, Tables 4 and 5).
+//!
+//! The paper prunes BERT-, TinyLLaMA- and Qwen2-class models with WoodFisher
+//! (second-order) and SparseGPT-style methods and reports SQuAD F1 /
+//! GSM8K perplexity. Neither the checkpoints nor the datasets are available
+//! here, so [`accuracy`] builds a deterministic teacher–student proxy task:
+//! a linear "teacher" generates labelled data, a least-squares "student"
+//! recovers the weights, the student is pruned into each sparse format and
+//! the retained quality is measured on held-out data. What the experiment
+//! must preserve is the *ordering* the paper reports —
+//! `dense ≳ Samoyeds ≈ unstructured > VENOM` at the same 75% sparsity, and
+//! stability of the Samoyeds format across its (N,M,V) configurations — and
+//! that ordering is driven by how much salient weight mass each format can
+//! keep, which the proxy measures directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod accuracy;
+pub mod fisher;
+pub mod magnitude;
+pub mod sparsegpt;
+
+pub use accuracy::{AccuracyReport, ProxyTask};

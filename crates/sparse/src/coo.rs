@@ -1,0 +1,166 @@
+//! Coordinate-list (COO) unstructured sparse format.
+//!
+//! COO is the simplest unstructured representation: a list of
+//! `(row, col, value)` triplets. The paper uses it (together with CSR) as the
+//! canonical example of a format whose irregular non-zero pattern defeats
+//! coalesced memory access on GPUs (§2.2, Figure 3).
+
+use crate::dense::DenseMatrix;
+use crate::error::{Result, SparseError};
+use crate::traits::SparseFormat;
+use serde::{Deserialize, Serialize};
+
+/// A sparse matrix stored as unsorted `(row, col, value)` triplets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CooMatrix {
+    rows: usize,
+    cols: usize,
+    entries: Vec<(u32, u32, f32)>,
+}
+
+impl CooMatrix {
+    /// Build a COO matrix from a dense one by recording all non-zero entries
+    /// in row-major order.
+    pub fn from_dense(dense: &DenseMatrix) -> Self {
+        let mut entries = Vec::new();
+        for r in 0..dense.rows() {
+            for c in 0..dense.cols() {
+                let v = dense.get(r, c);
+                if v != 0.0 {
+                    entries.push((r as u32, c as u32, v));
+                }
+            }
+        }
+        Self {
+            rows: dense.rows(),
+            cols: dense.cols(),
+            entries,
+        }
+    }
+
+    /// Build from explicit triplets, validating bounds.
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        entries: Vec<(u32, u32, f32)>,
+    ) -> Result<Self> {
+        for &(r, c, _) in &entries {
+            if r as usize >= rows {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: r as usize,
+                    bound: rows,
+                });
+            }
+            if c as usize >= cols {
+                return Err(SparseError::IndexOutOfBounds {
+                    index: c as usize,
+                    bound: cols,
+                });
+            }
+        }
+        Ok(Self {
+            rows,
+            cols,
+            entries,
+        })
+    }
+
+    /// Borrow the triplet list.
+    pub fn entries(&self) -> &[(u32, u32, f32)] {
+        &self.entries
+    }
+
+    /// Sparse-matrix x dense-matrix product: `C = self * B`.
+    pub fn spmm(&self, b: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != b.rows() {
+            return Err(SparseError::shape(format!(
+                "coo spmm {}x{} * {}x{}",
+                self.rows,
+                self.cols,
+                b.rows(),
+                b.cols()
+            )));
+        }
+        let mut out = DenseMatrix::zeros(self.rows, b.cols());
+        for &(r, c, v) in &self.entries {
+            let row_b = b.row(c as usize);
+            let row_c = &mut out.as_mut_slice()[r as usize * b.cols()..(r as usize + 1) * b.cols()];
+            for (o, x) in row_c.iter_mut().zip(row_b.iter()) {
+                *o += v * x;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl SparseFormat for CooMatrix {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.cols
+    }
+
+    fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for &(r, c, v) in &self.entries {
+            out.set(r as usize, c as usize, v);
+        }
+        out
+    }
+
+    fn storage_bytes(&self, bf16: bool) -> usize {
+        // Two u32 indices plus one value per entry.
+        self.entries.len() * (8 + if bf16 { 2 } else { 4 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_from_dense() {
+        let d = DenseMatrix::random_sparse(16, 12, 0.7, 1);
+        let coo = CooMatrix::from_dense(&d);
+        assert_eq!(coo.to_dense(), d);
+        assert_eq!(coo.nnz(), d.nnz());
+    }
+
+    #[test]
+    fn from_triplets_validates_bounds() {
+        assert!(CooMatrix::from_triplets(2, 2, vec![(0, 0, 1.0)]).is_ok());
+        assert!(CooMatrix::from_triplets(2, 2, vec![(2, 0, 1.0)]).is_err());
+        assert!(CooMatrix::from_triplets(2, 2, vec![(0, 5, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul() {
+        let a = DenseMatrix::random_sparse(8, 10, 0.6, 2);
+        let b = DenseMatrix::random(10, 6, 3);
+        let coo = CooMatrix::from_dense(&a);
+        let expected = a.matmul(&b).unwrap();
+        let got = coo.spmm(&b).unwrap();
+        assert!(got.allclose(&expected, 1e-5, 1e-5));
+    }
+
+    #[test]
+    fn spmm_shape_mismatch() {
+        let a = CooMatrix::from_dense(&DenseMatrix::zeros(4, 4));
+        assert!(a.spmm(&DenseMatrix::zeros(5, 2)).is_err());
+    }
+
+    #[test]
+    fn storage_accounts_for_indices() {
+        let d = DenseMatrix::from_vec(1, 4, vec![1.0, 0.0, 2.0, 0.0]).unwrap();
+        let coo = CooMatrix::from_dense(&d);
+        assert_eq!(coo.storage_bytes(false), 2 * 12);
+        assert_eq!(coo.storage_bytes(true), 2 * 10);
+        assert!(coo.sparsity() > 0.49);
+    }
+}

@@ -1,0 +1,99 @@
+//! Error type shared by all sparse-format constructors and converters.
+
+use std::fmt;
+
+/// Errors produced while constructing, encoding or operating on sparse
+/// matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SparseError {
+    /// Matrix dimensions do not satisfy a required divisibility or equality
+    /// constraint (e.g. `k % 4 != 0` for a 2:4 encoding).
+    ShapeMismatch {
+        /// Human readable description of the violated constraint.
+        context: String,
+    },
+    /// A sparsity configuration is internally inconsistent (e.g. `N > M`).
+    InvalidConfig {
+        /// Human readable description of the invalid configuration.
+        context: String,
+    },
+    /// An index stored in a compressed representation is out of bounds.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The exclusive bound it must stay below.
+        bound: usize,
+    },
+    /// The data does not follow the structured pattern required by a format
+    /// (e.g. more than 2 non-zeros inside a group of 4 for 2:4).
+    PatternViolation {
+        /// Human readable description of the violation.
+        context: String,
+    },
+}
+
+impl fmt::Display for SparseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SparseError::ShapeMismatch { context } => write!(f, "shape mismatch: {context}"),
+            SparseError::InvalidConfig { context } => write!(f, "invalid config: {context}"),
+            SparseError::IndexOutOfBounds { index, bound } => {
+                write!(f, "index {index} out of bounds (< {bound})")
+            }
+            SparseError::PatternViolation { context } => {
+                write!(f, "structured pattern violation: {context}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SparseError {}
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SparseError>;
+
+impl SparseError {
+    /// Build a [`SparseError::ShapeMismatch`] from anything displayable.
+    pub fn shape(context: impl Into<String>) -> Self {
+        SparseError::ShapeMismatch {
+            context: context.into(),
+        }
+    }
+
+    /// Build a [`SparseError::InvalidConfig`] from anything displayable.
+    pub fn config(context: impl Into<String>) -> Self {
+        SparseError::InvalidConfig {
+            context: context.into(),
+        }
+    }
+
+    /// Build a [`SparseError::PatternViolation`] from anything displayable.
+    pub fn pattern(context: impl Into<String>) -> Self {
+        SparseError::PatternViolation {
+            context: context.into(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = SparseError::shape("k=3 not divisible by 4");
+        assert!(e.to_string().contains("k=3"));
+        let e = SparseError::config("N=3 > M=2");
+        assert!(e.to_string().contains("N=3"));
+        let e = SparseError::IndexOutOfBounds { index: 9, bound: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = SparseError::pattern("3 nonzeros in a 2:4 group");
+        assert!(e.to_string().contains("2:4"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SparseError::shape("x"), SparseError::shape("x"));
+        assert_ne!(SparseError::shape("x"), SparseError::config("x"));
+    }
+}

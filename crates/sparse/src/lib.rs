@@ -1,0 +1,51 @@
+//! Sparse matrix formats for the Samoyeds reproduction.
+//!
+//! This crate implements every data representation the paper's evaluation
+//! touches:
+//!
+//! * [`dense::DenseMatrix`] — the baseline row-major dense representation and
+//!   the reference GEMM used as a correctness oracle everywhere else.
+//! * [`coo::CooMatrix`] and [`csr::CsrMatrix`] — unstructured formats used by
+//!   the Sputnik-like baseline kernel.
+//! * [`nm::NmMatrix`] — element-wise N:M structured sparsity (2:4 being the
+//!   hardware-supported instance), encoded as compressed values plus a 2-bit
+//!   metadata matrix exactly as consumed by `mma.sp`.
+//! * [`venom::VenomMatrix`] — the V:N:M format of the VENOM baseline
+//!   (vector-wise column pruning combined with 2:4 inside the kept columns).
+//! * [`samoyeds::SamoyedsWeight`] — the paper's dual-side weight format:
+//!   blocks of `M` Sub-Rows of length `V`, of which `N` are retained, with 2:4
+//!   pruning inside each retained Sub-Row; encoded into `{data, indices,
+//!   metadata}`.
+//! * [`sel::SelectionArray`] / [`sel::SelInput`] — the input-side vector-wise
+//!   sparsity produced by MoE token routing (the `SEL` array of Algorithm 1).
+//! * [`packing`] — the reorganised 2-bit metadata packing of Figure 10 and the
+//!   shared-memory permutation used to avoid bank conflicts.
+//! * [`prune`] — magnitude pruning of dense weights into each of the formats.
+//!
+//! All floating point payloads are `f32` but can be passed through
+//! [`dense::quantize_bf16`] to emulate the bfloat16 operands the paper uses.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coo;
+pub mod csr;
+pub mod dense;
+pub mod error;
+pub mod nm;
+pub mod packing;
+pub mod prune;
+pub mod samoyeds;
+pub mod sel;
+pub mod traits;
+pub mod venom;
+
+pub use coo::CooMatrix;
+pub use csr::CsrMatrix;
+pub use dense::DenseMatrix;
+pub use error::{Result, SparseError};
+pub use nm::NmMatrix;
+pub use samoyeds::{SamoyedsConfig, SamoyedsWeight};
+pub use sel::{SelInput, SelectionArray};
+pub use traits::SparseFormat;
+pub use venom::VenomMatrix;

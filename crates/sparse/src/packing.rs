@@ -1,0 +1,201 @@
+//! Metadata packing and reorganisation (§4.4, Figure 10).
+//!
+//! The 2-bit metadata entries consumed by `mma.sp` are incompatible with the
+//! `ldmatrix` collective load, so the Samoyeds kernel packs them into 32-bit
+//! register words and *reorganises* their storage order on device memory so
+//! that each thread's load is a contiguous, 32-bit-aligned transaction.
+//!
+//! The reorganisation for a 16x16 2-bit metadata tile maps the element at
+//! `[row, col]` to `[row % 8 * 2 + col / 8, col % 8 + row / 8 * 8]`, which is
+//! what [`reorganize_metadata_tile`] implements. [`pack_2bit`] packs 16
+//! two-bit values into one `u32` in little-endian nibble order, matching the
+//! register view of the SpTC (Figure 10(a)).
+
+use crate::error::{Result, SparseError};
+
+/// Side length of the metadata tile handled by one `mma.sp.m16n8k32`
+/// invocation (16 rows x 16 two-bit entries).
+pub const META_TILE: usize = 16;
+
+/// Pack up to 16 two-bit values (`0..4`) into a single `u32`, value `i`
+/// occupying bits `2i..2i+2`.
+pub fn pack_2bit(values: &[u8]) -> Result<u32> {
+    if values.len() > 16 {
+        return Err(SparseError::shape(format!(
+            "cannot pack {} 2-bit values into a 32-bit word",
+            values.len()
+        )));
+    }
+    let mut out = 0u32;
+    for (i, &v) in values.iter().enumerate() {
+        if v > 3 {
+            return Err(SparseError::pattern(format!(
+                "metadata value {v} does not fit in 2 bits"
+            )));
+        }
+        out |= (v as u32) << (2 * i);
+    }
+    Ok(out)
+}
+
+/// Unpack a `u32` into 16 two-bit values (inverse of [`pack_2bit`]).
+pub fn unpack_2bit(word: u32) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    for (i, slot) in out.iter_mut().enumerate() {
+        *slot = ((word >> (2 * i)) & 0b11) as u8;
+    }
+    out
+}
+
+/// The Figure 10(b) storage mapping for one 16x16 2-bit metadata tile:
+/// element `[row, col]` of the logical tile is stored at
+/// `[row % 8 * 2 + col / 8, col % 8 + row / 8 * 8]` of the reorganised tile.
+pub fn metadata_remap(row: usize, col: usize) -> (usize, usize) {
+    (row % 8 * 2 + col / 8, col % 8 + row / 8 * 8)
+}
+
+/// Reorganise a logical 16x16 metadata tile (row-major, 256 entries) into the
+/// device-memory order of Figure 10(b).
+pub fn reorganize_metadata_tile(tile: &[u8]) -> Result<Vec<u8>> {
+    if tile.len() != META_TILE * META_TILE {
+        return Err(SparseError::shape(format!(
+            "metadata tile must have {} entries, got {}",
+            META_TILE * META_TILE,
+            tile.len()
+        )));
+    }
+    let mut out = vec![0u8; tile.len()];
+    for row in 0..META_TILE {
+        for col in 0..META_TILE {
+            let (nr, nc) = metadata_remap(row, col);
+            out[nr * META_TILE + nc] = tile[row * META_TILE + col];
+        }
+    }
+    Ok(out)
+}
+
+/// Undo [`reorganize_metadata_tile`].
+pub fn restore_metadata_tile(reorganized: &[u8]) -> Result<Vec<u8>> {
+    if reorganized.len() != META_TILE * META_TILE {
+        return Err(SparseError::shape(format!(
+            "metadata tile must have {} entries, got {}",
+            META_TILE * META_TILE,
+            reorganized.len()
+        )));
+    }
+    let mut out = vec![0u8; reorganized.len()];
+    for row in 0..META_TILE {
+        for col in 0..META_TILE {
+            let (nr, nc) = metadata_remap(row, col);
+            out[row * META_TILE + col] = reorganized[nr * META_TILE + nc];
+        }
+    }
+    Ok(out)
+}
+
+/// Pack a reorganised 16x16 metadata tile into the sixteen 32-bit register
+/// words the SpTC expects (one word per reorganised row of 16 2-bit entries).
+pub fn pack_metadata_tile_to_registers(tile: &[u8]) -> Result<Vec<u32>> {
+    let reorganized = reorganize_metadata_tile(tile)?;
+    reorganized
+        .chunks(META_TILE)
+        .map(pack_2bit)
+        .collect::<Result<Vec<u32>>>()
+}
+
+/// Number of 32-bit memory transactions needed to load a 16x16 metadata tile
+/// when it is stored in the given order.
+///
+/// With the naive row-major layout each thread's 32-bit register gathers
+/// 2-bit entries that live in several different 32-bit words, so the number
+/// of transactions is larger; with the reorganised layout every register maps
+/// to exactly one aligned word. This function is what the kernel cost model
+/// calls to credit the packing optimisation.
+pub fn metadata_transactions(reorganized: bool) -> usize {
+    if reorganized {
+        // 16 registers, one aligned 32-bit transaction each.
+        16
+    } else {
+        // Each register's 16 entries straddle 4 separate words in the
+        // row-major layout (8 entries per row-half, 2 rows apart).
+        16 * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let vals: Vec<u8> = (0..16).map(|i| (i % 4) as u8).collect();
+        let w = pack_2bit(&vals).unwrap();
+        assert_eq!(unpack_2bit(w).to_vec(), vals);
+    }
+
+    #[test]
+    fn pack_rejects_bad_input() {
+        assert!(pack_2bit(&[4]).is_err());
+        assert!(pack_2bit(&vec![0u8; 17]).is_err());
+        assert!(pack_2bit(&[]).unwrap() == 0);
+    }
+
+    #[test]
+    fn remap_is_a_bijection_on_the_tile() {
+        let mut seen = vec![false; META_TILE * META_TILE];
+        for row in 0..META_TILE {
+            for col in 0..META_TILE {
+                let (nr, nc) = metadata_remap(row, col);
+                assert!(nr < META_TILE && nc < META_TILE, "({row},{col}) -> ({nr},{nc})");
+                let idx = nr * META_TILE + nc;
+                assert!(!seen[idx], "collision at ({nr},{nc})");
+                seen[idx] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn remap_matches_paper_formula_examples() {
+        // [0,0] -> [0,0]; [0,8] -> [1,0]; [8,0] -> [0,8]; [7,15] -> [15,7].
+        assert_eq!(metadata_remap(0, 0), (0, 0));
+        assert_eq!(metadata_remap(0, 8), (1, 0));
+        assert_eq!(metadata_remap(8, 0), (0, 8));
+        assert_eq!(metadata_remap(7, 15), (15, 7));
+    }
+
+    #[test]
+    fn reorganize_restore_roundtrip() {
+        let tile: Vec<u8> = (0..256u32).map(|i| ((i / 16 + i) % 4) as u8).collect();
+        let reorganized = reorganize_metadata_tile(&tile).unwrap();
+        assert_ne!(reorganized, tile);
+        let restored = restore_metadata_tile(&reorganized).unwrap();
+        assert_eq!(restored, tile);
+    }
+
+    #[test]
+    fn reorganize_validates_size() {
+        assert!(reorganize_metadata_tile(&[0u8; 255]).is_err());
+        assert!(restore_metadata_tile(&[0u8; 100]).is_err());
+    }
+
+    #[test]
+    fn register_packing_produces_16_words() {
+        let tile: Vec<u8> = (0..256).map(|i| ((i / 7) % 4) as u8).collect();
+        let regs = pack_metadata_tile_to_registers(&tile).unwrap();
+        assert_eq!(regs.len(), 16);
+        // All information must be preserved: unpacking and restoring yields
+        // the original tile.
+        let mut reorganized = Vec::with_capacity(256);
+        for w in regs {
+            reorganized.extend_from_slice(&unpack_2bit(w));
+        }
+        assert_eq!(restore_metadata_tile(&reorganized).unwrap(), tile);
+    }
+
+    #[test]
+    fn reorganized_layout_uses_fewer_transactions() {
+        assert!(metadata_transactions(true) < metadata_transactions(false));
+        assert_eq!(metadata_transactions(true), 16);
+    }
+}

@@ -1,0 +1,81 @@
+//! Common trait implemented by every sparse representation in this crate.
+
+use crate::dense::DenseMatrix;
+
+/// A sparse matrix representation that can report its logical shape, convert
+/// back to dense form and account for its compressed storage footprint.
+///
+/// The storage accounting is what drives the memory model in the `moe` crate
+/// (maximum-batch-size experiments of Table 3) and the I/O-volume terms of the
+/// kernel cost model.
+pub trait SparseFormat {
+    /// Logical (uncompressed) number of rows.
+    fn rows(&self) -> usize;
+
+    /// Logical (uncompressed) number of columns.
+    fn cols(&self) -> usize;
+
+    /// Number of explicitly stored non-zero values.
+    fn nnz(&self) -> usize;
+
+    /// Reconstruct the equivalent dense matrix.
+    fn to_dense(&self) -> DenseMatrix;
+
+    /// Bytes needed to store the compressed representation, including index
+    /// and metadata structures. `bf16` selects 2-byte instead of 4-byte
+    /// values.
+    fn storage_bytes(&self, bf16: bool) -> usize;
+
+    /// Fraction of logical entries that are *not* stored, in `[0, 1]`.
+    fn sparsity(&self) -> f64 {
+        let total = self.rows() * self.cols();
+        if total == 0 {
+            return 0.0;
+        }
+        1.0 - self.nnz() as f64 / total as f64
+    }
+
+    /// Compression ratio of this format versus dense storage at the same
+    /// value precision (dense bytes / compressed bytes).
+    fn compression_ratio(&self, bf16: bool) -> f64 {
+        let dense = self.rows() * self.cols() * if bf16 { 2 } else { 4 };
+        let this = self.storage_bytes(bf16);
+        if this == 0 {
+            return 1.0;
+        }
+        dense as f64 / this as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake;
+
+    impl SparseFormat for Fake {
+        fn rows(&self) -> usize {
+            4
+        }
+        fn cols(&self) -> usize {
+            4
+        }
+        fn nnz(&self) -> usize {
+            4
+        }
+        fn to_dense(&self) -> DenseMatrix {
+            DenseMatrix::zeros(4, 4)
+        }
+        fn storage_bytes(&self, bf16: bool) -> usize {
+            4 * if bf16 { 2 } else { 4 }
+        }
+    }
+
+    #[test]
+    fn default_sparsity_and_compression() {
+        let f = Fake;
+        assert!((f.sparsity() - 0.75).abs() < 1e-12);
+        assert!((f.compression_ratio(false) - 4.0).abs() < 1e-12);
+        assert!((f.compression_ratio(true) - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,43 @@
+//! Kernel sweep: compare the Samoyeds kernel against the cuBLAS-, cuSPARSELt-,
+//! VENOM- and Sputnik-like baselines across matrix sizes (the Figure 13
+//! experiment in miniature) on any of the modeled GPUs.
+//!
+//! Run with `cargo run --release --example kernel_sweep [gpu]` where `gpu`
+//! is one of `4070s`, `3090`, `4090`, `a100` (default `4070s`).
+
+use samoyeds::gpu_sim::DeviceSpec;
+use samoyeds::kernels::gemm_dense::DenseGemm;
+use samoyeds::kernels::samoyeds_kernel::SamoyedsKernel;
+use samoyeds::kernels::spmm_csr::CsrSpmm;
+use samoyeds::kernels::spmm_nm::NmSpmm;
+use samoyeds::kernels::spmm_venom::VenomSpmm;
+use samoyeds::kernels::GemmProblem;
+use samoyeds::sparse::samoyeds::SamoyedsConfig;
+
+fn main() {
+    let device = match std::env::args().nth(1).as_deref() {
+        Some("3090") => DeviceSpec::rtx3090(),
+        Some("4090") => DeviceSpec::rtx4090(),
+        Some("a100") => DeviceSpec::a100_40g(),
+        _ => DeviceSpec::rtx4070_super(),
+    };
+    println!("device: {}\n", device.name);
+    println!(
+        "{:>6} {:>6} {:>6} | {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "m", "k", "n", "samoyeds", "venom", "cusparselt", "cublas", "sputnik"
+    );
+    for &size in &[512usize, 1024, 2048, 4096, 8192] {
+        let (m, k, n) = (size, 4096, size);
+        let problem = GemmProblem::samoyeds(m, k, n, n, SamoyedsConfig::DEFAULT);
+        let dense = GemmProblem::dense(m, k, n);
+        let t_s = SamoyedsKernel::new(device.clone()).stats(&problem).time_ms;
+        let t_v = VenomSpmm::new(device.clone()).stats(&dense).time_ms;
+        let t_n = NmSpmm::new(device.clone()).stats(&dense).time_ms;
+        let t_d = DenseGemm::new(device.clone()).stats(&dense).time_ms;
+        let t_c = CsrSpmm::new(device.clone()).stats(&dense, 0.75).time_ms;
+        println!(
+            "{m:>6} {k:>6} {n:>6} | {t_s:>8.3}ms {t_v:>8.3}ms {t_n:>8.3}ms {t_d:>8.3}ms {t_c:>8.3}ms"
+        );
+    }
+    println!("\n(times are cost-model predictions; lower is better)");
+}

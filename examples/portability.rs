@@ -1,0 +1,48 @@
+//! Portability example (§6.6): port the RTX 4070 Super kernel configuration
+//! to the other modeled GPUs directly, then apply the Table 6 adaptation rule
+//! and show how many problem sizes improve.
+//!
+//! Run with `cargo run --release --example portability`.
+
+use samoyeds::gpu_sim::DeviceSpec;
+use samoyeds::kernels::autotune::{adapt_for_device, suggested_adaptation};
+use samoyeds::kernels::samoyeds_kernel::SamoyedsKernel;
+use samoyeds::kernels::spmm_nm::NmSpmm;
+use samoyeds::kernels::{GemmProblem, TilingConfig};
+use samoyeds::sparse::samoyeds::SamoyedsConfig;
+
+fn main() {
+    let sizes = [1024usize, 2048, 4096, 8192];
+    for device in DeviceSpec::portability_set() {
+        let adaptation = suggested_adaptation(&device);
+        let adapted = adapt_for_device(&device);
+        let mut improved = 0usize;
+        let mut total = 0usize;
+        let mut speedups = Vec::new();
+        for &m in &sizes {
+            for &n in &sizes {
+                let problem = GemmProblem::samoyeds(m, 4096, n, n, SamoyedsConfig::DEFAULT);
+                let dense = GemmProblem::dense(m, 4096, n);
+                let ported = SamoyedsKernel::new(device.clone())
+                    .with_tiling(TilingConfig::DEFAULT_4070S)
+                    .stats(&problem)
+                    .time_ms;
+                let tuned = SamoyedsKernel::new(device.clone())
+                    .with_tiling(adapted)
+                    .stats(&problem)
+                    .time_ms;
+                let cusparselt = NmSpmm::new(device.clone()).stats(&dense).time_ms;
+                speedups.push(cusparselt / ported);
+                if tuned < ported * 0.99 {
+                    improved += 1;
+                }
+                total += 1;
+            }
+        }
+        let avg = speedups.iter().sum::<f64>() / speedups.len() as f64;
+        println!(
+            "{:<32} direct-port speedup over cuSPARSELt: {:.2}x | adaptation {:?} improves {}/{} cases",
+            device.name, avg, adaptation, improved, total
+        );
+    }
+}

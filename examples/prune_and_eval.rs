@@ -1,0 +1,46 @@
+//! Pruning and accuracy example: prune the proxy models into every format the
+//! paper compares (dense, unstructured, VENOM, Samoyeds configurations) with
+//! magnitude, WoodFisher-style and SparseGPT-style saliency, and print the
+//! Table 4 / Table 5 style report.
+//!
+//! Run with `cargo run --release --example prune_and_eval`.
+
+use samoyeds::pruning::accuracy::{ProxyTask, PruneMethod};
+use samoyeds::sparse::prune::PruneFormat;
+use samoyeds::sparse::samoyeds::SamoyedsConfig;
+use samoyeds::sparse::venom::VenomConfig;
+
+fn main() {
+    let formats: Vec<(&str, PruneFormat)> = vec![
+        ("dense", PruneFormat::Dense),
+        ("unstructured-75%", PruneFormat::Unstructured { sparsity: 0.75 }),
+        ("venom-64:4:8", PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 })),
+        ("samoyeds-(1,2,16)", PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V16)),
+        ("samoyeds-(1,2,32)", PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V32)),
+        ("samoyeds-(4,8,32)", PruneFormat::Samoyeds(SamoyedsConfig::N4_M8_V32)),
+        ("samoyeds-(8,16,32)", PruneFormat::Samoyeds(SamoyedsConfig::N8_M16_V32)),
+    ];
+
+    println!("== QA proxy (Table 4 style, F1, higher is better) ==");
+    let bert = ProxyTask::bert_like("Bert-base (proxy)", 3);
+    for (label, fmt) in &formats {
+        let r = bert.evaluate(*fmt, PruneMethod::WoodFisher).unwrap();
+        println!("  {label:<20} F1 {:>6.2}   retained energy {:>5.1}%", r.f1, r.retained_energy * 100.0);
+    }
+
+    println!("\n== LM proxies (Table 5 style, perplexity, lower is better) ==");
+    for task in [ProxyTask::tiny_llama_like(7), ProxyTask::qwen2_like(8)] {
+        println!("  {}:", task.name());
+        for (label, fmt) in &formats {
+            for method in [PruneMethod::Magnitude, PruneMethod::SparseGpt] {
+                let r = task.evaluate(*fmt, method).unwrap();
+                println!(
+                    "    {label:<20} {:<10} ppl {:>5.2}  recon err {:.3}",
+                    format!("{method:?}"),
+                    r.perplexity,
+                    r.reconstruction_error
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Quickstart: prune a weight matrix into the Samoyeds dual-side format, run
+//! the sparse-sparse kernel against a routed (column-sparse) input, check the
+//! result against the dense reference and print the predicted GPU statistics.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use samoyeds::gpu_sim::DeviceSpec;
+use samoyeds::kernels::samoyeds_kernel::SamoyedsKernel;
+use samoyeds::sparse::samoyeds::SamoyedsConfig;
+use samoyeds::sparse::{DenseMatrix, SamoyedsWeight, SelInput, SelectionArray, SparseFormat};
+
+fn main() {
+    // 1. A dense expert weight (256 x 512) and a batch of 96 tokens, of which
+    //    the router selected every third one for this expert.
+    let dense_weight = DenseMatrix::random(256, 512, 1);
+    let activations = DenseMatrix::random(512, 96, 2);
+    let sel = SelectionArray::new(96, (0..96).step_by(3).map(|i| i as u32).collect()).unwrap();
+
+    // 2. Prune the weight into the Samoyeds (N,M,V) = (1,2,32) format: 75%
+    //    sparsity encoded as {data, indices, metadata}.
+    let weight = SamoyedsWeight::prune_from_dense(&dense_weight, SamoyedsConfig::DEFAULT).unwrap();
+    println!(
+        "weight: {}x{} -> {} compressed values ({:.1}% sparsity, {:.2}x compression)",
+        weight.rows(),
+        weight.cols(),
+        weight.data().len(),
+        weight.sparsity() * 100.0,
+        weight.compression_ratio(true),
+    );
+
+    // 3. Run the dual-side sparse kernel on the simulated RTX 4070 Super.
+    let device = DeviceSpec::rtx4070_super();
+    let kernel = SamoyedsKernel::new(device);
+    let input = SelInput::new(activations.clone(), sel.clone()).unwrap();
+    let (output, stats) = kernel.execute(&weight, &input).unwrap();
+
+    // 4. Verify against the dense reference on the gathered columns.
+    let gathered = activations.select_columns(&sel.indices_usize()).unwrap();
+    let reference = weight.to_dense().matmul(&gathered).unwrap();
+    assert!(output.allclose(&reference, 1e-3, 1e-3));
+    println!(
+        "output {}x{} verified against the dense reference (max diff {:.2e})",
+        output.rows(),
+        output.cols(),
+        output.max_abs_diff(&reference)
+    );
+
+    // 5. Predicted execution statistics on the simulated GPU.
+    println!(
+        "predicted on {}: {:.3} ms, {:.1} TFLOPS achieved, {:.1} MiB DRAM traffic, occupancy {:.0}%",
+        stats.device,
+        stats.time_ms,
+        stats.achieved_tflops,
+        stats.dram_bytes / (1024.0 * 1024.0),
+        stats.occupancy_fraction * 100.0
+    );
+}

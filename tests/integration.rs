@@ -1,0 +1,159 @@
+//! Cross-crate integration tests: the full pipeline from dense weights to
+//! pruned formats, kernels, MoE engines and experiment reports.
+
+use samoyeds::gpu_sim::DeviceSpec;
+use samoyeds::kernels::gemm_dense::DenseGemm;
+use samoyeds::kernels::samoyeds_kernel::{SamoyedsKernel, SamoyedsOptions};
+use samoyeds::kernels::GemmProblem;
+use samoyeds::moe::config::MoeModelConfig;
+use samoyeds::moe::engines::{Engine, EngineKind};
+use samoyeds::moe::expert::ExpertWeights;
+use samoyeds::moe::memory::{batch_experiment_seq_len, max_batch_size};
+use samoyeds::moe::router::TopKRouter;
+use samoyeds::pruning::accuracy::{ProxyTask, PruneMethod};
+use samoyeds::sparse::prune::PruneFormat;
+use samoyeds::sparse::samoyeds::SamoyedsConfig;
+use samoyeds::sparse::{DenseMatrix, SamoyedsWeight, SelInput, SparseFormat};
+
+#[test]
+fn end_to_end_prune_execute_verify() {
+    // Dense weight -> Samoyeds format -> dual-side kernel -> verified output.
+    let dense = DenseMatrix::random(128, 256, 42);
+    let weight = SamoyedsWeight::prune_from_dense(&dense, SamoyedsConfig::DEFAULT).unwrap();
+    assert!((weight.sparsity() - 0.75).abs() < 0.02);
+
+    let tokens = DenseMatrix::random(256, 48, 43);
+    let input = SelInput::dense(tokens.clone());
+    let kernel = SamoyedsKernel::new(DeviceSpec::rtx4070_super());
+    let (out, stats) = kernel.execute(&weight, &input).unwrap();
+    let reference = weight.to_dense().matmul(&tokens).unwrap();
+    assert!(out.allclose(&reference, 1e-3, 1e-3));
+    assert!(stats.time_ms > 0.0);
+    assert!(stats.achieved_tflops > 0.0);
+}
+
+#[test]
+fn kernel_level_ordering_holds_on_realistic_shapes() {
+    // On every Table-2 expert shape the Samoyeds kernel beats cuBLAS by a
+    // healthy factor (the Figure 12 "realistic benchmark" claim).
+    let dev = DeviceSpec::rtx4070_super();
+    for cfg in MoeModelConfig::table2() {
+        let problem = GemmProblem::samoyeds(
+            cfg.intermediate_size,
+            cfg.hidden_size,
+            4096,
+            4096,
+            SamoyedsConfig::DEFAULT,
+        );
+        let dense = GemmProblem::dense(cfg.intermediate_size, cfg.hidden_size, 4096);
+        let t_s = SamoyedsKernel::new(dev.clone()).stats(&problem).time_ms;
+        let t_d = DenseGemm::new(dev.clone()).stats(&dense).time_ms;
+        let speedup = t_d / t_s;
+        assert!(
+            speedup > 1.5 && speedup < 8.0,
+            "{}: speedup over cuBLAS {speedup}",
+            cfg.name
+        );
+    }
+}
+
+#[test]
+fn moe_engines_rank_consistently_across_models() {
+    let dev = DeviceSpec::rtx4070_super();
+    for cfg in [
+        MoeModelConfig::mixtral_8x7b(),
+        MoeModelConfig::minicpm_moe(),
+        MoeModelConfig::deepseek_moe(),
+    ] {
+        let tokens = 2048;
+        let plan = TopKRouter::for_config(&cfg, 5).route(tokens);
+        let time = |kind| {
+            Engine::new(kind, dev.clone())
+                .moe_layer_cost(&cfg, tokens, &plan)
+                .time_ms
+        };
+        let samoyeds = time(EngineKind::Samoyeds);
+        assert!(samoyeds < time(EngineKind::Transformers), "{}", cfg.name);
+        assert!(samoyeds < time(EngineKind::VllmDs), "{}", cfg.name);
+        assert!(samoyeds < time(EngineKind::MegaBlocks), "{}", cfg.name);
+        assert!(samoyeds < time(EngineKind::Pit), "{}", cfg.name);
+    }
+}
+
+#[test]
+fn functional_moe_layer_matches_between_engines_on_pruned_weights() {
+    let cfg = MoeModelConfig::tiny_test();
+    let device = DeviceSpec::rtx4070_super();
+    let experts: Vec<ExpertWeights> = (0..cfg.num_experts)
+        .map(|e| ExpertWeights::random(&cfg, e, 21))
+        .collect();
+    let pruned: Vec<_> = experts
+        .iter()
+        .map(|w| w.prune_samoyeds(SamoyedsConfig::DEFAULT).unwrap())
+        .collect();
+    let pruned_dense: Vec<ExpertWeights> = pruned
+        .iter()
+        .map(|p| ExpertWeights {
+            gate: p.gate.to_dense(),
+            up: p.up.to_dense(),
+            down: p.down.to_dense(),
+            activation: p.activation,
+        })
+        .collect();
+    let x = DenseMatrix::random(cfg.hidden_size, 16, 22);
+    let plan = TopKRouter::for_config(&cfg, 23).route(16);
+    let reference = Engine::forward_reference(&pruned_dense, &x, &plan).unwrap();
+    let kernel_path = Engine::forward_samoyeds(&device, &pruned, &x, &plan).unwrap();
+    assert!(
+        kernel_path.allclose(&reference, 1e-2, 1e-2),
+        "max diff {}",
+        kernel_path.max_abs_diff(&reference)
+    );
+}
+
+#[test]
+fn breakdown_and_memory_claims_hold_together() {
+    // The optimisation breakdown (Figure 17) and the max-batch claim
+    // (Table 3) both hold for the same model on the same device.
+    let dev = DeviceSpec::rtx4070_super();
+    let cfg = MoeModelConfig::qwen2_moe();
+    let plan = TopKRouter::for_config(&cfg, 9).route(4096);
+    let step = |opts| {
+        Engine::new(EngineKind::Samoyeds, dev.clone())
+            .with_samoyeds_options(opts)
+            .moe_layer_cost(&cfg, 4096, &plan)
+            .time_ms
+    };
+    assert!(step(SamoyedsOptions::FULL) < step(SamoyedsOptions::WEIGHT_ONLY));
+
+    let seq = batch_experiment_seq_len(&cfg);
+    let samoyeds_batch = max_batch_size(&dev, EngineKind::Samoyeds, &cfg, seq);
+    let transformers_batch = max_batch_size(&dev, EngineKind::Transformers, &cfg, seq);
+    assert!(samoyeds_batch > transformers_batch);
+}
+
+#[test]
+fn accuracy_pipeline_runs_for_every_method() {
+    let task = ProxyTask::bert_like("integration", 1);
+    for method in [
+        PruneMethod::Magnitude,
+        PruneMethod::WoodFisher,
+        PruneMethod::SparseGpt,
+    ] {
+        let report = task
+            .evaluate(PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT), method)
+            .unwrap();
+        assert!(report.f1 > 50.0 && report.f1 <= 100.0);
+        assert!(report.retained_energy > 0.5);
+    }
+}
+
+#[test]
+fn experiment_harness_smoke() {
+    use samoyeds_bench::{run_experiment, Experiment};
+    let rows = run_experiment(Experiment::Table3MaxBatch);
+    assert!(rows.len() >= 8);
+    assert!(rows.iter().any(|r| r.contains("Mixtral-8x22B")));
+    let rows = run_experiment(Experiment::Fig14MoeLayer);
+    assert!(rows.iter().any(|r| r.contains("NS")));
+}
