@@ -14,9 +14,27 @@ fn bench_optimisation_toggles(c: &mut Criterion) {
     let problem = GemmProblem::samoyeds(4096, 4096, 8192, 1024, SamoyedsConfig::DEFAULT);
     let variants: [(&str, SamoyedsOptions); 4] = [
         ("full", SamoyedsOptions::FULL),
-        ("no_layout", SamoyedsOptions { optimized_layout: false, ..SamoyedsOptions::FULL }),
-        ("no_stationary", SamoyedsOptions { data_stationary: false, ..SamoyedsOptions::FULL }),
-        ("no_packing", SamoyedsOptions { metadata_packing: false, ..SamoyedsOptions::FULL }),
+        (
+            "no_layout",
+            SamoyedsOptions {
+                optimized_layout: false,
+                ..SamoyedsOptions::FULL
+            },
+        ),
+        (
+            "no_stationary",
+            SamoyedsOptions {
+                data_stationary: false,
+                ..SamoyedsOptions::FULL
+            },
+        ),
+        (
+            "no_packing",
+            SamoyedsOptions {
+                metadata_packing: false,
+                ..SamoyedsOptions::FULL
+            },
+        ),
     ];
     let mut group = c.benchmark_group("ablation_toggles");
     for (name, opts) in variants {

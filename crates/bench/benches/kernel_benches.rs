@@ -51,5 +51,9 @@ fn bench_functional_samoyeds_kernel(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernel_cost_models, bench_functional_samoyeds_kernel);
+criterion_group!(
+    benches,
+    bench_kernel_cost_models,
+    bench_functional_samoyeds_kernel
+);
 criterion_main!(benches);

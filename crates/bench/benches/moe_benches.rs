@@ -35,8 +35,15 @@ fn bench_decoder_layer(c: &mut Criterion) {
 fn bench_router(c: &mut Criterion) {
     let cfg = MoeModelConfig::deepseek_moe();
     let router = TopKRouter::for_config(&cfg, 7);
-    c.bench_function("router_4096_tokens_64_experts", |b| b.iter(|| router.route(4096)));
+    c.bench_function("router_4096_tokens_64_experts", |b| {
+        b.iter(|| router.route(4096))
+    });
 }
 
-criterion_group!(benches, bench_moe_layer_cost, bench_decoder_layer, bench_router);
+criterion_group!(
+    benches,
+    bench_moe_layer_cost,
+    bench_decoder_layer,
+    bench_router
+);
 criterion_main!(benches);

@@ -30,7 +30,11 @@ fn main() {
         let started = std::time::Instant::now();
         let rows = run_experiment(exp);
         let report = rows.join("\n");
-        println!("\n=== {} ({:.1}s) ===\n{report}", exp.id(), started.elapsed().as_secs_f64());
+        println!(
+            "\n=== {} ({:.1}s) ===\n{report}",
+            exp.id(),
+            started.elapsed().as_secs_f64()
+        );
         fs::write(out_dir.join(format!("{}.md", exp.id())), report + "\n")
             .expect("write experiment report");
     }

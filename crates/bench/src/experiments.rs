@@ -16,6 +16,7 @@ use samoyeds_moe::engines::{Engine, EngineKind};
 use samoyeds_moe::memory::{batch_experiment_seq_len, max_batch_size};
 use samoyeds_moe::router::TopKRouter;
 use samoyeds_pruning::accuracy::{ProxyTask, PruneMethod};
+use samoyeds_serve::{SchedulerConfig, ServingSimulator, TraceConfig};
 use samoyeds_sparse::prune::PruneFormat;
 use samoyeds_sparse::samoyeds::SamoyedsConfig;
 use samoyeds_sparse::venom::VenomConfig;
@@ -51,6 +52,9 @@ pub enum Experiment {
     Table6Adaptation,
     /// Figure 19: comparison with PIT.
     Fig19PitCompare,
+    /// Beyond the paper: continuous-batching serving sweep (per-engine
+    /// throughput and latency percentiles on a shared request trace).
+    ServingSweep,
 }
 
 impl Experiment {
@@ -71,6 +75,7 @@ impl Experiment {
             Experiment::Fig18Portability => "fig18_portability",
             Experiment::Table6Adaptation => "table6_adaptation",
             Experiment::Fig19PitCompare => "fig19_pit_compare",
+            Experiment::ServingSweep => "serving_sweep",
         }
     }
 }
@@ -92,6 +97,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::Fig18Portability,
         Experiment::Table6Adaptation,
         Experiment::Fig19PitCompare,
+        Experiment::ServingSweep,
     ]
 }
 
@@ -112,6 +118,7 @@ pub fn run_experiment(exp: Experiment) -> Vec<String> {
         Experiment::Fig18Portability => fig18_portability(),
         Experiment::Table6Adaptation => table6_adaptation(),
         Experiment::Fig19PitCompare => fig19_pit_compare(),
+        Experiment::ServingSweep => serving_sweep(),
     }
 }
 
@@ -153,7 +160,12 @@ pub fn realistic_shapes() -> Vec<(String, usize, usize, usize)> {
     for cfg in MoeModelConfig::table2() {
         let h = cfg.hidden_size;
         let i = cfg.intermediate_size;
-        out.push((format!("{} gate/up ({})", cfg.name, cfg.cfg_group), i, h, 4096));
+        out.push((
+            format!("{} gate/up ({})", cfg.name, cfg.cfg_group),
+            i,
+            h,
+            4096,
+        ));
         out.push((format!("{} down ({})", cfg.name, cfg.cfg_group), h, i, 4096));
     }
     out
@@ -186,8 +198,12 @@ pub fn fig02_breakdown() -> Vec<String> {
     ];
     for cfg in MoeModelConfig::table2() {
         let seq = 4096.min(cfg.max_seq_len);
-        let std = DecoderLayer::new(dev.clone(), EngineKind::Transformers, AttentionKind::Standard)
-            .breakdown(&cfg, 1, seq);
+        let std = DecoderLayer::new(
+            dev.clone(),
+            EngineKind::Transformers,
+            AttentionKind::Standard,
+        )
+        .breakdown(&cfg, 1, seq);
         let flash = DecoderLayer::new(dev.clone(), EngineKind::Transformers, AttentionKind::Flash)
             .breakdown(&cfg, 1, seq);
         rows.push(format!(
@@ -244,13 +260,28 @@ pub fn fig12_kernel_perf() -> Vec<String> {
     let maxf = |v: &[f64]| v.iter().cloned().fold(f64::MIN, f64::max);
 
     let mut rows = vec![
-        format!("Synthetic benchmark: {} sizes, m/k/n in 256..16384", grid.len()),
+        format!(
+            "Synthetic benchmark: {} sizes, m/k/n in 256..16384",
+            grid.len()
+        ),
         "| Baseline | Samoyeds geomean speedup | max speedup |".to_string(),
         "|---|---|---|".to_string(),
-        format!("| cuBLAS | {:.2}x | {:.2}x |", geomean(&cublas), maxf(&cublas)),
-        format!("| cuSPARSELt | {:.2}x | {:.2}x |", geomean(&cusparselt), maxf(&cusparselt)),
+        format!(
+            "| cuBLAS | {:.2}x | {:.2}x |",
+            geomean(&cublas),
+            maxf(&cublas)
+        ),
+        format!(
+            "| cuSPARSELt | {:.2}x | {:.2}x |",
+            geomean(&cusparselt),
+            maxf(&cusparselt)
+        ),
         format!("| VENOM | {:.2}x | {:.2}x |", geomean(&venom), maxf(&venom)),
-        format!("| Sputnik | {:.2}x | {:.2}x |", geomean(&sputnik), maxf(&sputnik)),
+        format!(
+            "| Sputnik | {:.2}x | {:.2}x |",
+            geomean(&sputnik),
+            maxf(&sputnik)
+        ),
         String::new(),
         "Realistic benchmark (Table 2 expert shapes, 4096 tokens):".to_string(),
         "| Shape | vs cuBLAS | vs cuSPARSELt | vs VENOM | vs Sputnik |".to_string(),
@@ -258,7 +289,9 @@ pub fn fig12_kernel_perf() -> Vec<String> {
     ];
     for (label, m, k, n) in realistic_shapes() {
         let (c, cs, v, s) = kernel_speedups(m, k, n);
-        rows.push(format!("| {label} | {c:.2}x | {cs:.2}x | {v:.2}x | {s:.2}x |"));
+        rows.push(format!(
+            "| {label} | {c:.2}x | {cs:.2}x | {v:.2}x | {s:.2}x |"
+        ));
     }
     rows
 }
@@ -268,11 +301,16 @@ pub fn fig13_throughput_sweep() -> Vec<String> {
     let dev = device();
     let sizes = [256usize, 512, 1024, 2048, 4096, 8192, 16384];
     let mut rows = vec![
-        "| Swept dim | size | Samoyeds TFLOPS | VENOM TFLOPS | cuSPARSELt TFLOPS | cuBLAS TFLOPS |".to_string(),
+        "| Swept dim | size | Samoyeds TFLOPS | VENOM TFLOPS | cuSPARSELt TFLOPS | cuBLAS TFLOPS |"
+            .to_string(),
         "|---|---|---|---|---|---|".to_string(),
     ];
     for (dim, make) in [
-        ("m", Box::new(|s: usize| (s, 4096usize, 4096usize)) as Box<dyn Fn(usize) -> (usize, usize, usize)>),
+        (
+            "m",
+            Box::new(|s: usize| (s, 4096usize, 4096usize))
+                as Box<dyn Fn(usize) -> (usize, usize, usize)>,
+        ),
         ("k", Box::new(|s: usize| (4096, s, 4096))),
         ("n", Box::new(|s: usize| (4096, 4096, s))),
     ] {
@@ -300,7 +338,8 @@ pub fn fig14_moe_layer() -> Vec<String> {
     let dev = device();
     let tokens = 4096usize;
     let mut rows = vec![
-        "| Model | Shared experts | Samoyeds vs Transformers | vs MegaBlocks | vs vLLM-DS |".to_string(),
+        "| Model | Shared experts | Samoyeds vs Transformers | vs MegaBlocks | vs vLLM-DS |"
+            .to_string(),
         "|---|---|---|---|---|".to_string(),
     ];
     for shared in [2usize, 0] {
@@ -337,7 +376,8 @@ pub fn fig14_moe_layer() -> Vec<String> {
 pub fn fig15_end_to_end() -> Vec<String> {
     let dev = device();
     let mut rows = vec![
-        "| Model | batch | seq | Samoyeds vs Transformers | vs MegaBlocks | vs vLLM-DS |".to_string(),
+        "| Model | batch | seq | Samoyeds vs Transformers | vs MegaBlocks | vs vLLM-DS |"
+            .to_string(),
         "|---|---|---|---|---|---|".to_string(),
     ];
     for cfg in MoeModelConfig::table2() {
@@ -402,7 +442,8 @@ pub fn fig16_batch_throughput() -> Vec<String> {
 pub fn table3_max_batch() -> Vec<String> {
     let dev = device();
     let mut rows = vec![
-        "| Model | Transformers | MegaBlocks | vLLM-DS | Samoyeds | Boost over best baseline |".to_string(),
+        "| Model | Transformers | MegaBlocks | vLLM-DS | Samoyeds | Boost over best baseline |"
+            .to_string(),
         "|---|---|---|---|---|---|".to_string(),
     ];
     let mut boosts = Vec::new();
@@ -416,7 +457,13 @@ pub fn table3_max_batch() -> Vec<String> {
         let best = t.max(m).max(v).max(1);
         let boost = s as f64 / best as f64;
         boosts.push(boost);
-        let show = |x: usize| if x == 0 { "OOM/-".to_string() } else { x.to_string() };
+        let show = |x: usize| {
+            if x == 0 {
+                "OOM/-".to_string()
+            } else {
+                x.to_string()
+            }
+        };
         rows.push(format!(
             "| {} | {} | {} | {} | {} | {:.2}x |",
             cfg.name,
@@ -496,7 +543,11 @@ pub fn table5_perplexity() -> Vec<String> {
         "|---|---|---|---|---|".to_string(),
     ];
     for task in [ProxyTask::tiny_llama_like(7), ProxyTask::qwen2_like(8)] {
-        let ppl = |fmt: PruneFormat| task.evaluate(fmt, PruneMethod::SparseGpt).unwrap().perplexity;
+        let ppl = |fmt: PruneFormat| {
+            task.evaluate(fmt, PruneMethod::SparseGpt)
+                .unwrap()
+                .perplexity
+        };
         rows.push(format!(
             "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
             task.name(),
@@ -630,6 +681,47 @@ pub fn fig19_pit_compare() -> Vec<String> {
     rows
 }
 
+/// Beyond the paper: continuous-batching serving comparison. Every engine
+/// serves the same Poisson request trace; the report shows throughput,
+/// request-latency percentiles and peak memory per engine, on the A100-40G
+/// (all engines hold the full model) and the RTX 4070 Super (only the
+/// Samoyeds compressed weights fit).
+pub fn serving_sweep() -> Vec<String> {
+    let trace = TraceConfig {
+        num_requests: 32,
+        arrival_rate_rps: 8.0,
+        prompt_len_range: (64, 256),
+        output_len_range: (8, 32),
+        seed: 42,
+    };
+    let engines = EngineKind::all();
+    let mut rows = Vec::new();
+    for (device, models) in [
+        (
+            DeviceSpec::a100_40g(),
+            vec![MoeModelConfig::qwen2_moe(), MoeModelConfig::deepseek_moe()],
+        ),
+        (
+            DeviceSpec::rtx4070_super(),
+            vec![MoeModelConfig::qwen2_moe()],
+        ),
+    ] {
+        for cfg in models {
+            let sim = ServingSimulator::new(device.clone(), cfg.clone())
+                .with_trace(trace.clone())
+                .with_scheduler(SchedulerConfig::default());
+            let metrics = sim.compare(&engines);
+            rows.extend(samoyeds_serve::render_markdown(
+                &cfg.name,
+                &device.name,
+                &metrics,
+            ));
+            rows.push(String::new());
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,14 +741,37 @@ mod tests {
             let rows = run_experiment(exp);
             assert!(rows.len() >= 3, "{} rows {}", exp.id(), rows.len());
         }
-        assert_eq!(all_experiments().len(), 14);
+        assert_eq!(all_experiments().len(), 15);
+    }
+
+    #[test]
+    fn serving_sweep_shows_samoyeds_winning_and_the_oom_contrast() {
+        let rows = serving_sweep();
+        // Three report tables: two A100 models and the 4070S contrast.
+        assert_eq!(
+            rows.iter()
+                .filter(|r| r.starts_with("Serving report"))
+                .count(),
+            3
+        );
+        // The 4070S table must mark the dense engines unservable while
+        // Samoyeds completes the trace.
+        assert!(rows.iter().any(|r| r.contains("NS/OOM")));
+        let samoyeds_rows: Vec<&String> = rows
+            .iter()
+            .filter(|r| r.starts_with("| Samoyeds |"))
+            .collect();
+        assert_eq!(samoyeds_rows.len(), 3);
+        assert!(samoyeds_rows.iter().all(|r| !r.contains("NS/OOM")));
     }
 
     #[test]
     fn synthetic_grid_covers_the_paper_range() {
         let grid = synthetic_grid();
         assert!(grid.len() >= 238, "grid has {} points", grid.len());
-        assert!(grid.iter().all(|&(m, k, n)| m >= 256 && k >= 256 && n >= 256));
+        assert!(grid
+            .iter()
+            .all(|&(m, k, n)| m >= 256 && k >= 256 && n >= 256));
         assert!(grid.iter().any(|&(m, _, _)| m == 16384));
     }
 
@@ -686,7 +801,10 @@ mod tests {
         };
         let first = parse(&rows[2]);
         let last = parse(&rows[rows.len() - 1]);
-        assert!(last > first, "layout speedup should grow: {first} -> {last}");
+        assert!(
+            last > first,
+            "layout speedup should grow: {first} -> {last}"
+        );
         assert!(first >= 1.0);
     }
 }

@@ -133,11 +133,7 @@ impl Traffic {
 /// same output column re-read the same `B` tile; those re-reads hit in L2 as
 /// long as the working set (one row of `A` tiles + one column of `B` tiles)
 /// fits in the cache.
-pub fn l2_hit_fraction(
-    working_set_bytes: f64,
-    l2_bytes: usize,
-    reuse_factor: f64,
-) -> f64 {
+pub fn l2_hit_fraction(working_set_bytes: f64, l2_bytes: usize, reuse_factor: f64) -> f64 {
     if working_set_bytes <= 0.0 || reuse_factor <= 1.0 {
         return 0.0;
     }
@@ -194,7 +190,10 @@ mod tests {
         assert!(small.efficiency(4) > large.efficiency(4));
         assert!(large.efficiency(4) >= 4.0 / 128.0);
         // A stride no larger than the element keeps full efficiency.
-        assert_eq!(AccessPattern::Strided { stride_bytes: 2 }.efficiency(2), 1.0);
+        assert_eq!(
+            AccessPattern::Strided { stride_bytes: 2 }.efficiency(2),
+            1.0
+        );
     }
 
     #[test]

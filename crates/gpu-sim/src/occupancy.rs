@@ -52,23 +52,20 @@ impl Occupancy {
         // Limit 2: registers per SM (allocated per warp, 256-register
         // granularity approximated away).
         let regs_per_block = launch.regs_per_thread.max(16) * block_threads;
-        let limit_regs = if regs_per_block == 0 {
-            device.max_blocks_per_sm
-        } else {
-            device.registers_per_sm / regs_per_block
-        };
+        let limit_regs = device
+            .registers_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(device.max_blocks_per_sm);
         // Limit 3: shared memory per SM.
-        let limit_shared = if launch.shared_bytes_per_block == 0 {
-            device.max_blocks_per_sm
-        } else {
-            device.shared_mem_per_sm / launch.shared_bytes_per_block
-        };
+        let limit_shared = device
+            .shared_mem_per_sm
+            .checked_div(launch.shared_bytes_per_block)
+            .unwrap_or(device.max_blocks_per_sm);
         // Limit 4: hardware block slots.
         let blocks_per_sm = limit_threads
             .min(limit_regs)
             .min(limit_shared)
-            .min(device.max_blocks_per_sm)
-            .max(0);
+            .min(device.max_blocks_per_sm);
 
         let warps_per_sm = blocks_per_sm * warps_per_block;
         let max_warps = device.max_threads_per_sm / WARP_SIZE;

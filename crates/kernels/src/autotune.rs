@@ -85,8 +85,8 @@ pub fn autotune(device: &DeviceSpec, problem: &GemmProblem) -> TilingConfig {
         if !cand.fits(device, true) {
             continue;
         }
-        let kernel = SamoyedsKernel::with_options(device.clone(), SamoyedsOptions::FULL)
-            .with_tiling(cand);
+        let kernel =
+            SamoyedsKernel::with_options(device.clone(), SamoyedsOptions::FULL).with_tiling(cand);
         let t = kernel.stats(problem).time_ms;
         if t < best_time {
             best_time = t;
@@ -143,7 +143,9 @@ mod tests {
         let tuned = autotune(&device, &problem);
         let default_kernel = SamoyedsKernel::new(device.clone());
         let tuned_kernel = SamoyedsKernel::new(device).with_tiling(tuned);
-        assert!(tuned_kernel.stats(&problem).time_ms <= default_kernel.stats(&problem).time_ms + 1e-9);
+        assert!(
+            tuned_kernel.stats(&problem).time_ms <= default_kernel.stats(&problem).time_ms + 1e-9
+        );
     }
 
     #[test]
@@ -153,6 +155,8 @@ mod tests {
         let tuned = autotune(&device, &small);
         // A 256x256 output cannot fill 128x64 tiles across 56 SMs; the tuner
         // should pick something no larger than the default block tile.
-        assert!(tuned.mb * tuned.nb <= TilingConfig::DEFAULT_4070S.mb * TilingConfig::DEFAULT_4070S.nb);
+        assert!(
+            tuned.mb * tuned.nb <= TilingConfig::DEFAULT_4070S.mb * TilingConfig::DEFAULT_4070S.nb
+        );
     }
 }

@@ -29,9 +29,7 @@ impl Activation {
     pub fn apply(&self, x: f32) -> f32 {
         match self {
             Activation::Silu => x / (1.0 + (-x).exp()),
-            Activation::Gelu => {
-                0.5 * x * (1.0 + (0.7978845608 * (x + 0.044715 * x * x * x)).tanh())
-            }
+            Activation::Gelu => 0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044715 * x * x * x)).tanh()),
             Activation::Identity => x,
             Activation::Relu => x.max(0.0),
         }

@@ -159,8 +159,13 @@ impl SamoyedsKernel {
             crate::problem::SparsityKind::Samoyeds(cfg) => cfg.v,
             _ => 32,
         } as f64;
-        let meta_factor = if self.options.metadata_packing { 0.125 } else { 0.5 };
-        let a_tile = (t.mb * t.kb) as f64 * (2.0 * 0.5 + meta_factor) + t.mb as f64 * (t.kb as f64 / sub_row_v);
+        let meta_factor = if self.options.metadata_packing {
+            0.125
+        } else {
+            0.5
+        };
+        let a_tile = (t.mb * t.kb) as f64 * (2.0 * 0.5 + meta_factor)
+            + t.mb as f64 * (t.kb as f64 / sub_row_v);
         let b_tile = (t.kb * t.nb) as f64 * 2.0;
         let total_reads = launch.grid_blocks as f64 * k_steps * (a_tile + b_tile);
 
@@ -199,7 +204,11 @@ impl SamoyedsKernel {
             SharedLayout::Naive
         };
         p.traffic.smem_bank_passes = staging_report(layout, t.kb, t.nb).passes as f64;
-        p.traffic.coalescing_efficiency = if self.options.metadata_packing { 1.0 } else { 0.8 };
+        p.traffic.coalescing_efficiency = if self.options.metadata_packing {
+            1.0
+        } else {
+            0.8
+        };
         let occ = Occupancy::compute(&self.device, &launch);
         let concurrent = occ.blocks_per_sm * self.device.sm_count;
         // The reduction the wave actually walks is the compressed one.
@@ -207,7 +216,11 @@ impl SamoyedsKernel {
         p.l2_hit_fraction =
             tiled_gemm_l2_hit(effective_k, t.mb, t.nb, concurrent, self.device.l2_bytes);
 
-        p.compute_efficiency = if self.options.data_stationary { 0.8 } else { 0.62 };
+        p.compute_efficiency = if self.options.data_stationary {
+            0.8
+        } else {
+            0.62
+        };
         p.pipeline_overlap = if self.device.has_async_copy {
             (0.7 + 0.08 * t.stages as f64).min(0.95)
         } else {
@@ -247,7 +260,7 @@ impl SamoyedsKernel {
         } else {
             input.matrix().clone()
         };
-        let out = if weight.config().v % MMA_K_SPARSE == 0 {
+        let out = if weight.config().v.is_multiple_of(MMA_K_SPARSE) {
             self.execute_fragmentwise(weight, &b)?
         } else {
             weight.spmm(&b)?
@@ -263,7 +276,11 @@ impl SamoyedsKernel {
     }
 
     /// The tile/fragment execution path of Algorithm 1.
-    fn execute_fragmentwise(&self, weight: &SamoyedsWeight, b: &DenseMatrix) -> Result<DenseMatrix> {
+    fn execute_fragmentwise(
+        &self,
+        weight: &SamoyedsWeight,
+        b: &DenseMatrix,
+    ) -> Result<DenseMatrix> {
         let cfg = weight.config();
         let cols = b.cols();
         let comp_rows = weight.compressed_rows();
@@ -332,7 +349,8 @@ impl SamoyedsKernel {
                 let vals = weight.data_row(comp_r);
                 let meta = weight.metadata_row(comp_r);
                 values[i * half_k..(i + 1) * half_k].copy_from_slice(&vals[start..start + half_k]);
-                metadata[i * half_k..(i + 1) * half_k].copy_from_slice(&meta[start..start + half_k]);
+                metadata[i * half_k..(i + 1) * half_k]
+                    .copy_from_slice(&meta[start..start + half_k]);
             } else {
                 // Zero padding must still satisfy the strictly-increasing
                 // metadata constraint.
@@ -435,7 +453,10 @@ mod tests {
         let t_s = samoyeds.stats(&problem).time_ms;
         let t_v = venom.stats(&problem).time_ms;
         let speedup = t_v / t_s;
-        assert!(speedup > 1.0 && speedup < 3.0, "speedup over VENOM {speedup}");
+        assert!(
+            speedup > 1.0 && speedup < 3.0,
+            "speedup over VENOM {speedup}"
+        );
     }
 
     #[test]
@@ -445,7 +466,10 @@ mod tests {
         let quarter = GemmProblem::samoyeds(4096, 4096, 4096, 1024, SamoyedsConfig::DEFAULT);
         let t_full = kernel.stats(&full).time_ms;
         let t_quarter = kernel.stats(&quarter).time_ms;
-        assert!(t_quarter < t_full * 0.45, "full {t_full} quarter {t_quarter}");
+        assert!(
+            t_quarter < t_full * 0.45,
+            "full {t_full} quarter {t_quarter}"
+        );
     }
 
     #[test]

@@ -59,10 +59,13 @@ impl CsrSpmm {
         p.traffic.gmem_write_bytes = (m * n) as f64 * 2.0;
         p.traffic.smem_bytes = csr_bytes;
         // Gathered B rows are not coalesced across the sparse column indices.
-        p.traffic.coalescing_efficiency = AccessPattern::Strided { stride_bytes: 32 }.efficiency(2).max(0.25);
+        p.traffic.coalescing_efficiency = AccessPattern::Strided { stride_bytes: 32 }
+            .efficiency(2)
+            .max(0.25);
         p.traffic.smem_bank_passes = 1.5;
         let unique = (k * n) as f64 * 2.0;
-        p.l2_hit_fraction = l2_hit_fraction(unique, self.device.l2_bytes, (nnz / k as f64).max(1.0));
+        p.l2_hit_fraction =
+            l2_hit_fraction(unique, self.device.l2_bytes, (nnz / k as f64).max(1.0));
 
         // CUDA-core kernel without tensor pipelines: modest efficiency, no
         // cp.async double buffering in the modeled version.

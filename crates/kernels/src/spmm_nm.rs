@@ -55,7 +55,8 @@ impl NmSpmm {
         let occ = Occupancy::compute(&self.device, &launch);
         let concurrent = occ.blocks_per_sm * self.device.sm_count;
         // The compressed A tile halves the wave working set on the A side.
-        p.l2_hit_fraction = tiled_gemm_l2_hit(k / 2 + k / 2, t.mb, t.nb, concurrent, self.device.l2_bytes);
+        p.l2_hit_fraction =
+            tiled_gemm_l2_hit(k / 2 + k / 2, t.mb, t.nb, concurrent, self.device.l2_bytes);
 
         // Vendor-library quality, marginally below cuBLAS because the sparse
         // pipeline has extra metadata staging.

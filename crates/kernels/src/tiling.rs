@@ -87,19 +87,19 @@ impl TilingConfig {
         if self.mb == 0 || self.nb == 0 || self.kb == 0 || self.mw == 0 || self.nw == 0 {
             return Err(SparseError::config("tiling dimensions must be non-zero"));
         }
-        if self.mb % self.mw != 0 || self.nb % self.nw != 0 {
+        if !self.mb.is_multiple_of(self.mw) || !self.nb.is_multiple_of(self.nw) {
             return Err(SparseError::config(format!(
                 "block tile {}x{} not divisible by warp tile {}x{}",
                 self.mb, self.nb, self.mw, self.nw
             )));
         }
-        if self.mw % FRAG_M != 0 || self.nw % FRAG_N != 0 {
+        if !self.mw.is_multiple_of(FRAG_M) || !self.nw.is_multiple_of(FRAG_N) {
             return Err(SparseError::config(format!(
                 "warp tile {}x{} not divisible by the {}x{} fragment",
                 self.mw, self.nw, FRAG_M, FRAG_N
             )));
         }
-        if self.kb % FRAG_K != 0 {
+        if !self.kb.is_multiple_of(FRAG_K) {
             return Err(SparseError::config(format!(
                 "kb={} must be a multiple of the fragment depth {}",
                 self.kb, FRAG_K
@@ -112,13 +112,13 @@ impl TilingConfig {
             )));
         }
         if let Some(v) = sub_row_v {
-            if self.kb > v && self.kb % v != 0 {
+            if self.kb > v && !self.kb.is_multiple_of(v) {
                 return Err(SparseError::config(format!(
                     "kb={} must divide into Sub-Row length V={v} windows",
                     self.kb
                 )));
             }
-            if v % self.kb != 0 && self.kb % v != 0 {
+            if v % self.kb != 0 && !self.kb.is_multiple_of(v) {
                 return Err(SparseError::config(format!(
                     "kb={} and V={v} must be multiples of one another",
                     self.kb

@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(by_name("Mixtral-8x7B").intermediate_size, 14336);
         assert_eq!(by_name("Mixtral-8x22B").hidden_size, 6144);
         // CFG groups.
-        assert_eq!(by_name("Qwen2-MoE").cfg_group, by_name("DeepSeek-MoE").cfg_group);
+        assert_eq!(
+            by_name("Qwen2-MoE").cfg_group,
+            by_name("DeepSeek-MoE").cfg_group
+        );
         assert_eq!(by_name("Mixtral-8x22B").cfg_group, "CFG#5");
     }
 

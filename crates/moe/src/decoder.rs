@@ -85,9 +85,12 @@ impl DecoderLayer {
         let plan = TopKRouter::for_config(config, self.routing_seed).route(tokens);
         let moe = self.engine.moe_layer_cost(config, tokens, &plan);
         // Attention cost is per sequence (scores do not cross sequences).
-        let attention_ms =
-            attention_time_ms(&self.device, config, seq_len.min(config.max_seq_len), self.attention)
-                * batch as f64;
+        let attention_ms = attention_time_ms(
+            &self.device,
+            config,
+            seq_len.min(config.max_seq_len),
+            self.attention,
+        ) * batch as f64;
         // Norms, residuals and the router: two passes over the hidden states
         // plus the tiny router GEMM.
         let h = config.hidden_size as f64;
@@ -143,7 +146,11 @@ mod tests {
             MoeModelConfig::minicpm_moe(),
             MoeModelConfig::qwen2_moe(),
         ] {
-            let layer = DecoderLayer::new(device.clone(), EngineKind::Transformers, AttentionKind::Flash);
+            let layer = DecoderLayer::new(
+                device.clone(),
+                EngineKind::Transformers,
+                AttentionKind::Flash,
+            );
             let b = layer.breakdown(&config, 1, 4096);
             assert!(
                 b.moe_fraction() > 0.5,
@@ -158,8 +165,12 @@ mod tests {
     fn flash_attention_increases_the_moe_share() {
         let device = DeviceSpec::rtx4070_super();
         let config = MoeModelConfig::mixtral_8x7b();
-        let std = DecoderLayer::new(device.clone(), EngineKind::Transformers, AttentionKind::Standard)
-            .breakdown(&config, 1, 4096);
+        let std = DecoderLayer::new(
+            device.clone(),
+            EngineKind::Transformers,
+            AttentionKind::Standard,
+        )
+        .breakdown(&config, 1, 4096);
         let flash = DecoderLayer::new(device, EngineKind::Transformers, AttentionKind::Flash)
             .breakdown(&config, 1, 4096);
         assert!(flash.moe_fraction() > std.moe_fraction());
@@ -170,7 +181,8 @@ mod tests {
     fn samoyeds_end_to_end_beats_transformers() {
         let device = DeviceSpec::rtx4070_super();
         let config = MoeModelConfig::mixtral_8x7b();
-        let samoyeds = DecoderLayer::new(device.clone(), EngineKind::Samoyeds, AttentionKind::Flash);
+        let samoyeds =
+            DecoderLayer::new(device.clone(), EngineKind::Samoyeds, AttentionKind::Flash);
         let transformers =
             DecoderLayer::new(device, EngineKind::Transformers, AttentionKind::Flash);
         let t_s = samoyeds.layer_cost(&config, 1, 4096).time_ms;

@@ -142,9 +142,7 @@ impl Engine {
     /// Whether the engine has kernels for this model (the `NS` rule).
     pub fn supports(&self, config: &MoeModelConfig) -> bool {
         match self.kind {
-            EngineKind::MegaBlocks | EngineKind::VllmDs => {
-                config.activation != Activation::Relu
-            }
+            EngineKind::MegaBlocks | EngineKind::VllmDs => config.activation != Activation::Relu,
             _ => true,
         }
     }
@@ -326,7 +324,8 @@ impl Engine {
         // fuses most of the element-wise work.
         let launches_saved = (plan.num_experts().saturating_sub(1) * 3) as f64 * 5.0e-3;
         let mut total = gemm_ms - launches_saved.min(gemm_ms * 0.1);
-        total += (1.0 - fusion_quality) * self.elementwise_pass_ms(i, num_tokens, config.activation);
+        total +=
+            (1.0 - fusion_quality) * self.elementwise_pass_ms(i, num_tokens, config.activation);
         // Shared experts are ordinary dense GEMMs.
         for _ in 0..config.num_shared_experts {
             total += self.dense_expert_time_ms(config, num_tokens);
@@ -415,12 +414,28 @@ impl Engine {
         // With input sparsity the kernel indexes the full token buffer through
         // the SEL array; without it (the "+W" data flow) the expert receives
         // an already-gathered buffer of just its own tokens.
-        let logical_n = if options.input_sparsity { total.max(padded) } else { padded };
+        let logical_n = if options.input_sparsity {
+            total.max(padded)
+        } else {
+            padded
+        };
         let gate = kernel
-            .stats(&GemmProblem::samoyeds(i, h, logical_n, padded, self.samoyeds_cfg))
+            .stats(&GemmProblem::samoyeds(
+                i,
+                h,
+                logical_n,
+                padded,
+                self.samoyeds_cfg,
+            ))
             .time_ms;
         let down = kernel
-            .stats(&GemmProblem::samoyeds(h, i, padded, padded, self.samoyeds_cfg))
+            .stats(&GemmProblem::samoyeds(
+                h,
+                i,
+                padded,
+                padded,
+                self.samoyeds_cfg,
+            ))
             .time_ms;
         gate * 2.0 + down
     }
@@ -432,7 +447,8 @@ impl Engine {
         let mut total = 0.0;
         for e in 0..plan.num_experts() {
             let tokens = plan.tokens_for(e);
-            total += self.samoyeds_expert_time_ms(config, tokens, num_tokens, self.samoyeds_options);
+            total +=
+                self.samoyeds_expert_time_ms(config, tokens, num_tokens, self.samoyeds_options);
         }
         for _ in 0..config.num_shared_experts {
             total +=
@@ -500,7 +516,10 @@ impl Engine {
             let input = SelInput::new(x.clone(), sel.clone())?;
             let (gate_out, _) = kernel.execute(&weights.gate, &input)?;
             let (up_out, _) = kernel.execute(&weights.up, &input)?;
-            let inter = weights.activation.apply_matrix(&gate_out).hadamard(&up_out)?;
+            let inter = weights
+                .activation
+                .apply_matrix(&gate_out)
+                .hadamard(&up_out)?;
             let inter_input = SelInput::new(inter, SelectionArray::all(sel.len()))?;
             let (down_out, _) = kernel.execute(&weights.down, &inter_input)?;
             for (slot, &tok) in sel.indices().iter().enumerate() {
@@ -525,7 +544,8 @@ impl Engine {
         EngineKind::all()
             .into_iter()
             .map(|kind| {
-                let cost = Engine::new(kind, device.clone()).moe_layer_cost(config, num_tokens, plan);
+                let cost =
+                    Engine::new(kind, device.clone()).moe_layer_cost(config, num_tokens, plan);
                 (kind, cost)
             })
             .collect()
@@ -588,8 +608,14 @@ mod tests {
         let transformers = time(EngineKind::Transformers);
         let megablocks = time(EngineKind::MegaBlocks);
         let vllm = time(EngineKind::VllmDs);
-        assert!(samoyeds < transformers, "samoyeds {samoyeds} transformers {transformers}");
-        assert!(samoyeds < megablocks, "samoyeds {samoyeds} megablocks {megablocks}");
+        assert!(
+            samoyeds < transformers,
+            "samoyeds {samoyeds} transformers {transformers}"
+        );
+        assert!(
+            samoyeds < megablocks,
+            "samoyeds {samoyeds} megablocks {megablocks}"
+        );
         assert!(samoyeds < vllm, "samoyeds {samoyeds} vllm {vllm}");
         // The speedup over Transformers must be substantial but not an
         // implausible order of magnitude. (The simulation omits the Python

@@ -33,7 +33,10 @@ pub struct MemoryFootprint {
 impl MemoryFootprint {
     /// Total bytes.
     pub fn total(&self) -> f64 {
-        self.moe_weight_bytes + self.attention_weight_bytes + self.kv_cache_bytes + self.activation_bytes
+        self.moe_weight_bytes
+            + self.attention_weight_bytes
+            + self.kv_cache_bytes
+            + self.activation_bytes
     }
 }
 
@@ -106,7 +109,11 @@ pub fn max_batch_size(
 /// 4096 for the small-expert models (CFG#1), 1024 for the larger ones, capped
 /// by the model's maximum.
 pub fn batch_experiment_seq_len(config: &MoeModelConfig) -> usize {
-    let seq = if config.cfg_group == "CFG#1" { 4096 } else { 1024 };
+    let seq = if config.cfg_group == "CFG#1" {
+        4096
+    } else {
+        1024
+    };
     seq.min(config.max_seq_len)
 }
 
@@ -168,8 +175,14 @@ mod tests {
     fn mixtral_8x22b_ooms_on_the_fused_baselines_but_not_on_samoyeds() {
         let config = MoeModelConfig::mixtral_8x22b();
         let seq = batch_experiment_seq_len(&config);
-        assert_eq!(max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq), 0);
-        assert_eq!(max_batch_size(&device(), EngineKind::VllmDs, &config, seq), 0);
+        assert_eq!(
+            max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq),
+            0
+        );
+        assert_eq!(
+            max_batch_size(&device(), EngineKind::VllmDs, &config, seq),
+            0
+        );
         assert!(max_batch_size(&device(), EngineKind::Transformers, &config, seq) > 0);
         assert!(max_batch_size(&device(), EngineKind::Samoyeds, &config, seq) > 0);
     }
@@ -178,7 +191,10 @@ mod tests {
     fn unsupported_models_report_zero() {
         let config = MoeModelConfig::openmoe_34b();
         let seq = batch_experiment_seq_len(&config);
-        assert_eq!(max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq), 0);
+        assert_eq!(
+            max_batch_size(&device(), EngineKind::MegaBlocks, &config, seq),
+            0
+        );
         assert!(max_batch_size(&device(), EngineKind::Samoyeds, &config, seq) > 0);
     }
 
@@ -186,7 +202,12 @@ mod tests {
     fn larger_devices_fit_larger_batches() {
         let config = MoeModelConfig::mixtral_8x7b();
         let seq = batch_experiment_seq_len(&config);
-        let small = max_batch_size(&DeviceSpec::rtx4070_super(), EngineKind::Samoyeds, &config, seq);
+        let small = max_batch_size(
+            &DeviceSpec::rtx4070_super(),
+            EngineKind::Samoyeds,
+            &config,
+            seq,
+        );
         let big = max_batch_size(&DeviceSpec::a100_40g(), EngineKind::Samoyeds, &config, seq);
         assert!(big > small);
     }

@@ -41,6 +41,12 @@ impl RoutingPlan {
         SelectionArray::new(self.num_tokens, tokens.clone())
     }
 
+    /// The selection array of a shared expert: shared experts are isolated
+    /// from routing and always process every token of the batch.
+    pub fn shared_selection(&self) -> SelectionArray {
+        SelectionArray::all(self.num_tokens)
+    }
+
     /// Number of experts in the plan.
     pub fn num_experts(&self) -> usize {
         self.expert_tokens.len()
@@ -53,7 +59,11 @@ impl RoutingPlan {
 
     /// The largest per-expert token count (drives padding overhead).
     pub fn max_tokens_per_expert(&self) -> usize {
-        self.expert_tokens.iter().map(|t| t.len()).max().unwrap_or(0)
+        self.expert_tokens
+            .iter()
+            .map(|t| t.len())
+            .max()
+            .unwrap_or(0)
     }
 
     /// Load imbalance: max per-expert tokens over the balanced average.
@@ -180,6 +190,60 @@ mod tests {
         for (t, w) in per_token.iter().enumerate() {
             assert!((w - 1.0).abs() < 1e-5, "token {t} weight sum {w}");
         }
+    }
+
+    #[test]
+    fn per_expert_loads_sum_to_tokens_times_top_k() {
+        // The conservation invariant behind the input-side sparsity: every
+        // token contributes exactly top_k assignments, however skewed the
+        // per-expert loads are.
+        for config in MoeModelConfig::table2() {
+            for tokens in [1usize, 17, 256] {
+                let plan = TopKRouter::for_config(&config, 13).route(tokens);
+                let load_sum: usize = (0..plan.num_experts()).map(|e| plan.tokens_for(e)).sum();
+                assert_eq!(load_sum, tokens * config.top_k, "{}", config.name);
+                assert_eq!(plan.total_assignments(), tokens * config.top_k);
+                assert_eq!(plan.num_experts(), config.num_experts);
+                // Router weights mirror the token lists exactly.
+                for e in 0..plan.num_experts() {
+                    assert_eq!(plan.expert_tokens[e].len(), plan.expert_weights[e].len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_experts_always_receive_all_tokens() {
+        let config = MoeModelConfig::deepseek_moe();
+        assert!(config.has_shared_experts());
+        let plan = TopKRouter::for_config(&config, 5).route(97);
+        let shared = plan.shared_selection();
+        // The shared-expert selection is dense: every token, in order.
+        assert_eq!(shared.len(), 97);
+        assert_eq!(shared.total(), 97);
+        let indices: Vec<u32> = (0..97).collect();
+        assert_eq!(shared.indices(), indices.as_slice());
+        // Routed experts, by contrast, each see a strict subset for top_k <
+        // num_experts.
+        for e in 0..plan.num_experts() {
+            assert!(plan.tokens_for(e) < 97);
+        }
+    }
+
+    #[test]
+    fn plans_are_deterministic_and_selection_arrays_match_loads() {
+        let config = MoeModelConfig::qwen2_moe();
+        let a = TopKRouter::for_config(&config, 99).route(333);
+        let b = TopKRouter::for_config(&config, 99).route(333);
+        assert_eq!(a, b);
+        for e in 0..a.num_experts() {
+            let sel = a.selection(e).unwrap();
+            assert_eq!(sel.len(), a.tokens_for(e));
+            assert_eq!(sel.total(), 333);
+        }
+        // A different seed changes at least the assignment pattern.
+        let c = TopKRouter::for_config(&config, 100).route(333);
+        assert_ne!(a, c);
     }
 
     #[test]

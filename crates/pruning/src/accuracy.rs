@@ -161,7 +161,11 @@ impl ProxyTask {
         let dense_out = self.teacher.matmul(&self.heldout)?;
         let pruned_out = pruned.to_dense().matmul(&self.heldout)?;
         let (mut tp, mut fp, mut fn_) = (0.0f64, 0.0f64, 0.0f64);
-        for (d, p) in dense_out.as_slice().iter().zip(pruned_out.as_slice().iter()) {
+        for (d, p) in dense_out
+            .as_slice()
+            .iter()
+            .zip(pruned_out.as_slice().iter())
+        {
             let weight = d.abs() as f64;
             let dl = *d > 0.0;
             let pl = *p > 0.0;
@@ -207,7 +211,9 @@ mod tests {
     #[test]
     fn dense_model_scores_perfectly() {
         let t = task();
-        let r = t.evaluate(PruneFormat::Dense, PruneMethod::Magnitude).unwrap();
+        let r = t
+            .evaluate(PruneFormat::Dense, PruneMethod::Magnitude)
+            .unwrap();
         assert!(r.f1 > 99.9);
         assert!((r.perplexity - 1.72).abs() < 1e-6);
         assert!(r.reconstruction_error < 1e-6);
@@ -226,7 +232,10 @@ mod tests {
             .evaluate(PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT), method)
             .unwrap();
         let venom = t
-            .evaluate(PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 }), method)
+            .evaluate(
+                PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 }),
+                method,
+            )
             .unwrap();
         // Lower perplexity is better.
         assert!(dense.perplexity <= unstructured.perplexity);
@@ -248,7 +257,11 @@ mod tests {
         );
         // All perplexities stay in a plausible range.
         for r in [&dense, &unstructured, &samoyeds, &venom] {
-            assert!(r.perplexity >= 1.7 && r.perplexity < 3.5, "{:?}", r.perplexity);
+            assert!(
+                r.perplexity >= 1.7 && r.perplexity < 3.5,
+                "{:?}",
+                r.perplexity
+            );
         }
     }
 
@@ -283,10 +296,16 @@ mod tests {
     #[test]
     fn task_is_deterministic() {
         let a = ProxyTask::qwen2_like(5)
-            .evaluate(PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT), PruneMethod::Magnitude)
+            .evaluate(
+                PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT),
+                PruneMethod::Magnitude,
+            )
             .unwrap();
         let b = ProxyTask::qwen2_like(5)
-            .evaluate(PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT), PruneMethod::Magnitude)
+            .evaluate(
+                PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT),
+                PruneMethod::Magnitude,
+            )
             .unwrap();
         assert_eq!(a, b);
     }

@@ -56,11 +56,15 @@ mod tests {
     #[test]
     fn fisher_diagonal_reflects_input_power() {
         // Feature 0 has large activations, feature 2 is almost silent.
-        let calib = DenseMatrix::from_vec(3, 4, vec![
-            10.0, -9.0, 11.0, -10.0, //
-            1.0, 1.0, -1.0, -1.0, //
-            0.01, 0.0, -0.01, 0.0,
-        ])
+        let calib = DenseMatrix::from_vec(
+            3,
+            4,
+            vec![
+                10.0, -9.0, 11.0, -10.0, //
+                1.0, 1.0, -1.0, -1.0, //
+                0.01, 0.0, -0.01, 0.0,
+            ],
+        )
         .unwrap();
         let f = fisher_diagonal(&calib);
         assert!(f[0] > f[1] && f[1] > f[2]);
@@ -78,12 +82,8 @@ mod tests {
             calib.set(2, s, 4.0); // second highest
             calib.set(3, s, 0.1);
         }
-        let pruned = prune_woodfisher(
-            &weight,
-            &calib,
-            PruneFormat::Nm(NmConfig::TWO_FOUR),
-        )
-        .unwrap();
+        let pruned =
+            prune_woodfisher(&weight, &calib, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
         let dense = pruned.to_dense();
         assert_eq!(dense.get(0, 0), 1.0);
         assert_eq!(dense.get(0, 2), 1.0);
@@ -95,7 +95,8 @@ mod tests {
     fn woodfisher_preserves_surviving_values_exactly() {
         let weight = DenseMatrix::random(16, 32, 4);
         let calib = DenseMatrix::random(32, 64, 5);
-        let pruned = prune_woodfisher(&weight, &calib, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
+        let pruned =
+            prune_woodfisher(&weight, &calib, PruneFormat::Nm(NmConfig::TWO_FOUR)).unwrap();
         let dense = pruned.to_dense();
         for r in 0..16 {
             for c in 0..32 {

@@ -16,7 +16,11 @@ pub fn prune_magnitude(weight: &DenseMatrix, format: PruneFormat) -> Result<Prun
 /// accuracy harness correlates with task quality.
 pub fn retained_energy(original: &DenseMatrix, pruned: &PrunedWeight) -> f64 {
     let pruned_dense = pruned.to_dense();
-    let total: f64 = original.as_slice().iter().map(|v| (*v as f64).powi(2)).sum();
+    let total: f64 = original
+        .as_slice()
+        .iter()
+        .map(|v| (*v as f64).powi(2))
+        .sum();
     if total == 0.0 {
         return 1.0;
     }
@@ -50,19 +54,17 @@ mod tests {
         // At 75% sparsity, unstructured magnitude pruning is the upper bound
         // on retained energy; the structured formats trail it.
         let w = DenseMatrix::random(128, 256, 2);
-        let unstructured =
-            retained_energy(&w, &prune_magnitude(&w, PruneFormat::Unstructured { sparsity: 0.75 }).unwrap());
+        let unstructured = retained_energy(
+            &w,
+            &prune_magnitude(&w, PruneFormat::Unstructured { sparsity: 0.75 }).unwrap(),
+        );
         let samoyeds = retained_energy(
             &w,
             &prune_magnitude(&w, PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT)).unwrap(),
         );
         let venom = retained_energy(
             &w,
-            &prune_magnitude(
-                &w,
-                PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 }),
-            )
-            .unwrap(),
+            &prune_magnitude(&w, PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 })).unwrap(),
         );
         assert!(unstructured >= samoyeds);
         assert!(unstructured >= venom);
@@ -84,7 +86,10 @@ mod tests {
         ]
         .iter()
         .map(|cfg| {
-            retained_energy(&w, &prune_magnitude(&w, PruneFormat::Samoyeds(*cfg)).unwrap())
+            retained_energy(
+                &w,
+                &prune_magnitude(&w, PruneFormat::Samoyeds(*cfg)).unwrap(),
+            )
         })
         .collect();
         let max = energies.iter().cloned().fold(f64::MIN, f64::max);

@@ -118,11 +118,18 @@ mod tests {
     fn sparsegpt_respects_the_requested_format() {
         let weight = DenseMatrix::random(32, 64, 9);
         let calib = DenseMatrix::random(64, 32, 10);
-        let pruned =
-            prune_sparsegpt(&weight, &calib, PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V16))
-                .unwrap();
+        let pruned = prune_sparsegpt(
+            &weight,
+            &calib,
+            PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V16),
+        )
+        .unwrap();
         let dense = pruned.to_dense();
-        assert!((dense.sparsity() - 0.75).abs() < 0.05, "sparsity {}", dense.sparsity());
+        assert!(
+            (dense.sparsity() - 0.75).abs() < 0.05,
+            "sparsity {}",
+            dense.sparsity()
+        );
         // Block structure: per 2-row x 16-col block only one live sub-row.
         for rb in 0..16 {
             for cb in 0..4 {

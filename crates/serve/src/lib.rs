@@ -1,0 +1,125 @@
+//! Continuous-batching serving simulator for the Samoyeds reproduction.
+//!
+//! The layer above `samoyeds_moe`: instead of costing one MoE/decoder layer
+//! at a fixed batch size, this crate simulates a serving system — a request
+//! trace with Poisson arrivals, a continuous-batching scheduler with chunked
+//! prefill, admission control against the full-model memory budget, and
+//! per-engine throughput / latency-percentile reports. This is the serving
+//! regime the paper's maximum-batch study (Table 3) approximates statically
+//! and that systems like vLLM-DS target dynamically.
+//!
+//! * [`request`] — request descriptions, lifecycle phases and timing records;
+//! * [`trace`] — deterministic trace generation (arrival process + length
+//!   distributions);
+//! * [`memory`] — full-model memory accounting (weights, KV cache,
+//!   activation workspace) per execution engine;
+//! * [`batch`] — step-batch formation (decode-first, chunked prefill);
+//! * [`scheduler`] — the continuous-batching scheduler and step cost model;
+//! * [`metrics`] — percentile latency summaries and throughput;
+//! * [`report`] — per-engine comparison on a shared trace, rendered as
+//!   markdown.
+//!
+//! ```
+//! use samoyeds_gpu_sim::DeviceSpec;
+//! use samoyeds_moe::config::MoeModelConfig;
+//! use samoyeds_moe::engines::EngineKind;
+//! use samoyeds_serve::{ServingSimulator, TraceConfig};
+//!
+//! let sim = ServingSimulator::new(DeviceSpec::a100_40g(), MoeModelConfig::qwen2_moe())
+//!     .with_trace(TraceConfig { num_requests: 8, ..TraceConfig::default() });
+//! let metrics = sim.metrics(EngineKind::Samoyeds);
+//! assert!(metrics.servable);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod memory;
+pub mod metrics;
+pub mod report;
+pub mod request;
+pub mod scheduler;
+pub mod trace;
+
+pub use batch::BatchLimits;
+pub use memory::MemoryModel;
+pub use metrics::{latency_summary, LatencySummary, ServingMetrics};
+pub use report::{compare_engines, render_markdown};
+pub use request::{CompletedRequest, Phase, Request, RunningRequest};
+pub use scheduler::{Scheduler, SchedulerConfig, SimulationResult, StepRecord};
+pub use trace::TraceConfig;
+
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+
+/// Convenience front door: a device + model + trace + scheduler bundle.
+#[derive(Debug, Clone)]
+pub struct ServingSimulator {
+    device: DeviceSpec,
+    config: MoeModelConfig,
+    trace: TraceConfig,
+    scheduler: SchedulerConfig,
+}
+
+impl ServingSimulator {
+    /// Simulator with default trace and scheduler settings.
+    pub fn new(device: DeviceSpec, config: MoeModelConfig) -> Self {
+        Self {
+            device,
+            config,
+            trace: TraceConfig::default(),
+            scheduler: SchedulerConfig::default(),
+        }
+    }
+
+    /// Replace the trace configuration.
+    pub fn with_trace(mut self, trace: TraceConfig) -> Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Replace the scheduler configuration.
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// The model being served.
+    pub fn config(&self) -> &MoeModelConfig {
+        &self.config
+    }
+
+    /// The device serving it.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Run one engine over the trace and return the full simulation record.
+    pub fn simulate(&self, engine: EngineKind) -> SimulationResult {
+        Scheduler::new(
+            self.device.clone(),
+            self.config.clone(),
+            engine,
+            self.scheduler,
+        )
+        .run(&self.trace.generate())
+    }
+
+    /// Run one engine and summarise it.
+    pub fn metrics(&self, engine: EngineKind) -> ServingMetrics {
+        ServingMetrics::from_result(&self.simulate(engine))
+    }
+
+    /// Run several engines on the same trace and summarise each.
+    pub fn compare(&self, engines: &[EngineKind]) -> Vec<ServingMetrics> {
+        compare_engines(
+            &self.device,
+            &self.config,
+            &self.trace,
+            &self.scheduler,
+            engines,
+        )
+    }
+}

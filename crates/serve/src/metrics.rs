@@ -1,0 +1,151 @@
+//! Latency and throughput summaries over a simulation result.
+
+use crate::scheduler::SimulationResult;
+use samoyeds_moe::engines::EngineKind;
+use serde::{Deserialize, Serialize};
+
+/// Percentile summary of a latency distribution (milliseconds).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Maximum.
+    pub max_ms: f64,
+}
+
+impl LatencySummary {
+    /// An all-zero summary (no samples).
+    pub fn empty() -> Self {
+        Self {
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            mean_ms: 0.0,
+            max_ms: 0.0,
+        }
+    }
+}
+
+/// Nearest-rank percentile of `sorted` (ascending), `q` in `[0, 1]`.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Summarise a latency sample set.
+pub fn latency_summary(latencies: &[f64]) -> LatencySummary {
+    if latencies.is_empty() {
+        return LatencySummary::empty();
+    }
+    let mut sorted = latencies.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    LatencySummary {
+        p50_ms: percentile(&sorted, 0.50),
+        p95_ms: percentile(&sorted, 0.95),
+        p99_ms: percentile(&sorted, 0.99),
+        mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+        max_ms: *sorted.last().expect("non-empty"),
+    }
+}
+
+/// Headline serving metrics of one engine over one trace.
+#[derive(Debug, Clone)]
+pub struct ServingMetrics {
+    /// The engine measured.
+    pub engine: EngineKind,
+    /// Completed requests.
+    pub completed: usize,
+    /// Requests the scheduler could never admit (or the whole trace for an
+    /// unsupported engine/model pair).
+    pub rejected: usize,
+    /// Generated (output) tokens per second over the makespan.
+    pub output_tokens_per_s: f64,
+    /// Prompt + output tokens per second over the makespan.
+    pub processed_tokens_per_s: f64,
+    /// End-to-end request latency distribution.
+    pub request_latency: LatencySummary,
+    /// Time-to-first-token distribution.
+    pub ttft: LatencySummary,
+    /// Total simulated time.
+    pub makespan_ms: f64,
+    /// Peak memory in use.
+    pub peak_memory_gib: f64,
+    /// Enforced memory budget.
+    pub budget_gib: f64,
+    /// False when the engine cannot run the model (NS) or cannot hold even a
+    /// single minimal request (OOM).
+    pub servable: bool,
+}
+
+impl ServingMetrics {
+    /// Summarise a simulation result.
+    pub fn from_result(result: &SimulationResult) -> Self {
+        const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+        let latencies: Vec<f64> = result.completed.iter().map(|c| c.latency_ms()).collect();
+        let ttfts: Vec<f64> = result.completed.iter().map(|c| c.ttft_ms()).collect();
+        let makespan_s = result.makespan_ms / 1e3;
+        let per_s = |tokens: usize| {
+            if makespan_s > 0.0 {
+                tokens as f64 / makespan_s
+            } else {
+                0.0
+            }
+        };
+        Self {
+            engine: result.engine,
+            completed: result.completed.len(),
+            rejected: result.rejected.len(),
+            output_tokens_per_s: per_s(result.output_tokens()),
+            processed_tokens_per_s: per_s(result.processed_tokens()),
+            request_latency: latency_summary(&latencies),
+            ttft: latency_summary(&ttfts),
+            makespan_ms: result.makespan_ms,
+            peak_memory_gib: result.peak_memory_bytes / GIB,
+            budget_gib: result.budget_bytes / GIB,
+            servable: result.supported && !result.completed.is_empty(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        let s = latency_summary(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p95_ms, 95.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_and_singleton_samples() {
+        assert_eq!(latency_summary(&[]), LatencySummary::empty());
+        let s = latency_summary(&[7.0]);
+        assert_eq!(s.p50_ms, 7.0);
+        assert_eq!(s.p99_ms, 7.0);
+        assert_eq!(s.max_ms, 7.0);
+    }
+
+    #[test]
+    fn percentiles_are_monotone() {
+        let samples = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let s = latency_summary(&samples);
+        assert!(s.p50_ms <= s.p95_ms);
+        assert!(s.p95_ms <= s.p99_ms);
+        assert!(s.p99_ms <= s.max_ms);
+    }
+}

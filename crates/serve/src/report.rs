@@ -1,0 +1,86 @@
+//! Per-engine serving comparison and markdown rendering.
+
+use crate::metrics::ServingMetrics;
+use crate::scheduler::{Scheduler, SchedulerConfig};
+use crate::trace::TraceConfig;
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+
+/// Simulate every engine on the same trace and return their metrics in the
+/// given order.
+pub fn compare_engines(
+    device: &DeviceSpec,
+    config: &MoeModelConfig,
+    trace_config: &TraceConfig,
+    scheduler_config: &SchedulerConfig,
+    engines: &[EngineKind],
+) -> Vec<ServingMetrics> {
+    let trace = trace_config.generate();
+    engines
+        .iter()
+        .map(|&kind| {
+            let scheduler = Scheduler::new(device.clone(), config.clone(), kind, *scheduler_config);
+            ServingMetrics::from_result(&scheduler.run(&trace))
+        })
+        .collect()
+}
+
+/// Render a markdown table over per-engine metrics.
+pub fn render_markdown(model: &str, device: &str, metrics: &[ServingMetrics]) -> Vec<String> {
+    let mut rows = vec![
+        format!("Serving report: {model} on {device}"),
+        "| Engine | Completed | tok/s (output) | tok/s (total) | p50 ms | p95 ms | p99 ms | TTFT p50 ms | Peak GiB |"
+            .to_string(),
+        "|---|---|---|---|---|---|---|---|---|".to_string(),
+    ];
+    for m in metrics {
+        if !m.servable {
+            rows.push(format!(
+                "| {} | NS/OOM | - | - | - | - | - | - | - |",
+                m.engine.name()
+            ));
+            continue;
+        }
+        rows.push(format!(
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.1} |",
+            m.engine.name(),
+            m.completed,
+            m.output_tokens_per_s,
+            m.processed_tokens_per_s,
+            m.request_latency.p50_ms,
+            m.request_latency.p95_ms,
+            m.request_latency.p99_ms,
+            m.ttft.p50_ms,
+            m.peak_memory_gib,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_marks_unsupported_engines() {
+        let device = DeviceSpec::a100_40g();
+        let config = MoeModelConfig::openmoe_34b(); // ReLU: NS for vLLM-DS
+        let trace = TraceConfig {
+            num_requests: 3,
+            prompt_len_range: (8, 16),
+            output_len_range: (2, 4),
+            ..TraceConfig::default()
+        };
+        let metrics = compare_engines(
+            &device,
+            &config,
+            &trace,
+            &SchedulerConfig::default(),
+            &[EngineKind::VllmDs],
+        );
+        assert!(!metrics[0].servable);
+        let rows = render_markdown(&config.name, &device.name, &metrics);
+        assert!(rows.iter().any(|r| r.contains("NS/OOM")), "{rows:?}");
+    }
+}

@@ -1,0 +1,320 @@
+//! The continuous-batching scheduler: admission under the memory budget,
+//! chunked-prefill/decode interleaving and the per-step cost model.
+//!
+//! The simulated clock advances by the predicted execution time of each
+//! engine step: the MoE cost comes from `Engine::moe_layer_cost` on the
+//! step's token batch (the same model the paper's layer experiments use),
+//! attention is charged incrementally per request, and everything is scaled
+//! by the model's layer count. All randomness (routing) is seeded, so a
+//! simulation is a pure function of its inputs.
+
+use std::collections::VecDeque;
+
+use crate::batch::{build_step, BatchLimits, StepBatch};
+use crate::memory::MemoryModel;
+use crate::request::{CompletedRequest, Request, RunningRequest};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::attention::{attention_time_ms, AttentionKind};
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::{Engine, EngineKind};
+use samoyeds_moe::router::TopKRouter;
+use serde::{Deserialize, Serialize};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Per-step batching limits.
+    pub limits: BatchLimits,
+    /// Attention implementation used by every engine.
+    pub attention: AttentionKind,
+    /// Seed for the per-step routing plans.
+    pub routing_seed: u64,
+    /// Fixed per-step scheduling/launch overhead in milliseconds.
+    pub step_overhead_ms: f64,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            limits: BatchLimits::default(),
+            attention: AttentionKind::Flash,
+            routing_seed: 42,
+            step_overhead_ms: 0.05,
+        }
+    }
+}
+
+/// One executed engine step, for inspection and invariant tests.
+#[derive(Debug, Clone, Copy)]
+pub struct StepRecord {
+    /// Simulated time at the start of the step.
+    pub start_ms: f64,
+    /// Predicted duration of the step.
+    pub time_ms: f64,
+    /// Prefill tokens processed.
+    pub prefill_tokens: usize,
+    /// Decode tokens processed.
+    pub decode_tokens: usize,
+    /// KV-resident tokens after the step.
+    pub kv_tokens: usize,
+    /// Total memory in use during the step (weights + KV + activations).
+    pub memory_bytes: f64,
+    /// Concurrently admitted requests during the step.
+    pub running: usize,
+}
+
+/// Outcome of simulating one engine over one trace.
+#[derive(Debug, Clone)]
+pub struct SimulationResult {
+    /// The engine simulated.
+    pub engine: EngineKind,
+    /// Requests that finished, in completion order.
+    pub completed: Vec<CompletedRequest>,
+    /// Requests that could never fit the memory budget (or an unsupported
+    /// engine/model pair rejects the whole trace).
+    pub rejected: Vec<Request>,
+    /// Requests admitted over the run (= completed when the run drains).
+    pub admitted: usize,
+    /// Every executed step.
+    pub steps: Vec<StepRecord>,
+    /// Simulated time at which the last request finished.
+    pub makespan_ms: f64,
+    /// Peak memory in use across all steps.
+    pub peak_memory_bytes: f64,
+    /// The memory budget the scheduler enforced.
+    pub budget_bytes: f64,
+    /// False when the engine has no kernels for the model (NS) — nothing is
+    /// simulated in that case.
+    pub supported: bool,
+}
+
+impl SimulationResult {
+    /// Output tokens produced across completed requests.
+    pub fn output_tokens(&self) -> usize {
+        self.completed.iter().map(|c| c.request.output_len).sum()
+    }
+
+    /// Prompt + output tokens processed across completed requests.
+    pub fn processed_tokens(&self) -> usize {
+        self.completed
+            .iter()
+            .map(|c| c.request.total_tokens())
+            .sum()
+    }
+}
+
+/// Continuous-batching scheduler for one (device, model, engine) triple.
+#[derive(Debug, Clone)]
+pub struct Scheduler {
+    device: DeviceSpec,
+    config: MoeModelConfig,
+    engine: Engine,
+    memory: MemoryModel,
+    scfg: SchedulerConfig,
+}
+
+impl Scheduler {
+    /// Build a scheduler.
+    ///
+    /// # Panics
+    /// Panics if any [`BatchLimits`] field is zero: a zero limit can never
+    /// make progress (no admission, no prefill or no step tokens) and would
+    /// hang the simulation.
+    pub fn new(
+        device: DeviceSpec,
+        config: MoeModelConfig,
+        engine_kind: EngineKind,
+        scfg: SchedulerConfig,
+    ) -> Self {
+        assert!(
+            scfg.limits.max_running >= 1
+                && scfg.limits.max_batched_tokens >= 1
+                && scfg.limits.prefill_chunk >= 1,
+            "every BatchLimits field must be at least 1, got {:?}",
+            scfg.limits
+        );
+        Self {
+            engine: Engine::new(engine_kind, device.clone()),
+            memory: MemoryModel::new(&device, engine_kind, &config),
+            device,
+            config,
+            scfg,
+        }
+    }
+
+    /// The memory model the scheduler admits against.
+    pub fn memory(&self) -> &MemoryModel {
+        &self.memory
+    }
+
+    /// Predicted duration of one step over `batch`, given the running set.
+    fn step_time_ms(&self, batch: &StepBatch, running: &[RunningRequest], step_index: u64) -> f64 {
+        let step_tokens = batch.total_tokens();
+        let plan = TopKRouter::for_config(&self.config, self.scfg.routing_seed ^ step_index)
+            .route(step_tokens);
+        let moe_ms = self
+            .engine
+            .moe_layer_cost(&self.config, step_tokens, &plan)
+            .time_ms;
+
+        // Attention: prefill chunks pay the incremental causal-attention cost
+        // of extending their context; each decode token pays one pass over
+        // its request's KV cache.
+        let mut attention_ms = 0.0;
+        for &(i, chunk) in &batch.prefill {
+            let before = running[i].prefilled;
+            let after = (before + chunk).min(self.config.max_seq_len);
+            let inc = attention_time_ms(&self.device, &self.config, after, self.scfg.attention)
+                - attention_time_ms(
+                    &self.device,
+                    &self.config,
+                    before.max(1),
+                    self.scfg.attention,
+                );
+            attention_ms += inc.max(0.0);
+        }
+        let bandwidth = self.device.mem_bandwidth_gbps * 1e9;
+        for &i in &batch.decode {
+            let ctx = running[i].context_tokens().min(self.config.max_seq_len);
+            let kv_bytes = 2.0 * ctx as f64 * self.config.hidden_size as f64 * 2.0;
+            attention_ms += kv_bytes / bandwidth * 1e3 + 2.0e-3;
+        }
+
+        // Norms, residuals and the router GEMM, as in the decoder-layer model.
+        let h = self.config.hidden_size as f64;
+        let other_ms = 4.0 * step_tokens as f64 * h * 2.0 / bandwidth * 1e3 + 0.02;
+
+        (moe_ms + attention_ms + other_ms) * self.config.num_layers as f64
+            + self.scfg.step_overhead_ms
+    }
+
+    /// Run the trace to completion and return the full simulation record.
+    pub fn run(&self, trace: &[Request]) -> SimulationResult {
+        let limits = self.scfg.limits;
+        let mut result = SimulationResult {
+            engine: self.engine.kind(),
+            completed: Vec::new(),
+            rejected: Vec::new(),
+            admitted: 0,
+            steps: Vec::new(),
+            makespan_ms: 0.0,
+            peak_memory_bytes: 0.0,
+            budget_bytes: self.memory.budget_bytes(),
+            supported: self.engine.supports(&self.config),
+        };
+        if !result.supported {
+            result.rejected = trace.to_vec();
+            return result;
+        }
+
+        let mut queue: VecDeque<Request> = trace.to_vec().into();
+        let mut running: Vec<RunningRequest> = Vec::new();
+        // KV tokens reserved for admitted requests at their full final length
+        // (conservative: admission never needs preemption).
+        let mut reserved_tokens: usize = 0;
+        let mut clock_ms = 0.0f64;
+        let mut step_index = 0u64;
+
+        loop {
+            // Admission: FCFS, bounded by the running cap and the budget.
+            while running.len() < limits.max_running {
+                let Some(front) = queue.front() else { break };
+                if front.arrival_ms > clock_ms {
+                    break;
+                }
+                let candidate = reserved_tokens + front.total_tokens();
+                if self.memory.fits(candidate, limits.max_batched_tokens) {
+                    let request = queue.pop_front().expect("front exists");
+                    reserved_tokens = candidate;
+                    result.admitted += 1;
+                    running.push(RunningRequest::new(request, clock_ms));
+                } else if running.is_empty() {
+                    // Even an empty system cannot hold this request.
+                    result
+                        .rejected
+                        .push(queue.pop_front().expect("front exists"));
+                } else {
+                    break;
+                }
+            }
+
+            if running.is_empty() {
+                match queue.front() {
+                    // Drained: done.
+                    None => break,
+                    // Idle until the next arrival.
+                    Some(next) => {
+                        clock_ms = clock_ms.max(next.arrival_ms);
+                        continue;
+                    }
+                }
+            }
+
+            let batch = build_step(&running, &limits);
+            debug_assert!(!batch.is_empty(), "running set with no schedulable work");
+            let time_ms = self.step_time_ms(&batch, &running, step_index);
+            let start_ms = clock_ms;
+            clock_ms += time_ms;
+            step_index += 1;
+
+            // Apply progress.
+            for &(i, chunk) in &batch.prefill {
+                let r = &mut running[i];
+                r.prefilled += chunk;
+                if r.prefilled == r.request.prompt_len {
+                    // The prefill's final forward produces the first output
+                    // token.
+                    r.decoded += 1;
+                    r.first_token_ms = Some(clock_ms);
+                }
+            }
+            for &i in &batch.decode {
+                let r = &mut running[i];
+                r.decoded += 1;
+                if r.first_token_ms.is_none() {
+                    r.first_token_ms = Some(clock_ms);
+                }
+            }
+
+            // Retire finished requests and release their KV reservation.
+            let mut still_running = Vec::with_capacity(running.len());
+            for r in running.drain(..) {
+                if r.decoded >= r.request.output_len {
+                    reserved_tokens -= r.request.total_tokens();
+                    result.completed.push(CompletedRequest {
+                        request: r.request,
+                        admitted_ms: r.admitted_ms,
+                        first_token_ms: r.first_token_ms.unwrap_or(clock_ms),
+                        finished_ms: clock_ms,
+                    });
+                } else {
+                    still_running.push(r);
+                }
+            }
+            running = still_running;
+
+            // Account the step. KV during the step includes the tokens being
+            // written, which the per-request reservations upper-bound.
+            let kv_tokens: usize = running.iter().map(|r| r.context_tokens()).sum();
+            let memory_bytes = self.memory.footprint_bytes(kv_tokens, batch.total_tokens());
+            result.peak_memory_bytes = result.peak_memory_bytes.max(memory_bytes);
+            result.steps.push(StepRecord {
+                start_ms,
+                time_ms,
+                prefill_tokens: batch.prefill_tokens(),
+                decode_tokens: batch.decode.len(),
+                kv_tokens,
+                memory_bytes,
+                running: running.len(),
+            });
+
+            assert!(
+                step_index < 10_000_000,
+                "serving simulation exceeded the step safety cap"
+            );
+        }
+
+        result.makespan_ms = clock_ms;
+        result
+    }
+}

@@ -39,11 +39,7 @@ impl CooMatrix {
     }
 
     /// Build from explicit triplets, validating bounds.
-    pub fn from_triplets(
-        rows: usize,
-        cols: usize,
-        entries: Vec<(u32, u32, f32)>,
-    ) -> Result<Self> {
+    pub fn from_triplets(rows: usize, cols: usize, entries: Vec<(u32, u32, f32)>) -> Result<Self> {
         for &(r, c, _) in &entries {
             if r as usize >= rows {
                 return Err(SparseError::IndexOutOfBounds {

@@ -174,8 +174,7 @@ impl DenseMatrix {
                     continue;
                 }
                 let row_b = other.row(l);
-                let row_c =
-                    &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let row_c = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (cij, bj) in row_c.iter_mut().zip(row_b.iter()) {
                     *cij += a * bj;
                 }

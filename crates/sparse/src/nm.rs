@@ -67,7 +67,7 @@ impl NmMatrix {
     /// largest-magnitude elements of every group of `M`, then encode it.
     pub fn prune_from_dense(dense: &DenseMatrix, config: NmConfig) -> Result<Self> {
         config.validate()?;
-        if dense.cols() % config.m != 0 {
+        if !dense.cols().is_multiple_of(config.m) {
             return Err(SparseError::shape(format!(
                 "cols {} not divisible by group size {}",
                 dense.cols(),
@@ -113,7 +113,7 @@ impl NmMatrix {
     /// non-zeros.
     pub fn from_dense_strict(dense: &DenseMatrix, config: NmConfig) -> Result<Self> {
         config.validate()?;
-        if dense.cols() % config.m != 0 {
+        if !dense.cols().is_multiple_of(config.m) {
             return Err(SparseError::shape(format!(
                 "cols {} not divisible by group size {}",
                 dense.cols(),
@@ -127,8 +127,7 @@ impl NmMatrix {
             let row = dense.row(r);
             for g in 0..groups_per_row {
                 let group = &row[g * config.m..(g + 1) * config.m];
-                let nonzero: Vec<usize> =
-                    (0..config.m).filter(|&i| group[i] != 0.0).collect();
+                let nonzero: Vec<usize> = (0..config.m).filter(|&i| group[i] != 0.0).collect();
                 if nonzero.len() > config.n {
                     return Err(SparseError::pattern(format!(
                         "row {r} group {g} has {} nonzeros, limit {}",
@@ -319,10 +318,14 @@ mod tests {
 
     #[test]
     fn strict_encoding_roundtrips() {
-        let d = DenseMatrix::from_vec(2, 8, vec![
-            1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, //
-            0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 6.0,
-        ])
+        let d = DenseMatrix::from_vec(
+            2,
+            8,
+            vec![
+                1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 3.0, 4.0, //
+                0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 6.0,
+            ],
+        )
         .unwrap();
         let nm = NmMatrix::from_dense_strict(&d, NmConfig::TWO_FOUR).unwrap();
         assert_eq!(nm.to_dense(), d);

@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn pack_rejects_bad_input() {
         assert!(pack_2bit(&[4]).is_err());
-        assert!(pack_2bit(&vec![0u8; 17]).is_err());
+        assert!(pack_2bit(&[0u8; 17]).is_err());
         assert!(pack_2bit(&[]).unwrap() == 0);
     }
 
@@ -146,7 +146,10 @@ mod tests {
         for row in 0..META_TILE {
             for col in 0..META_TILE {
                 let (nr, nc) = metadata_remap(row, col);
-                assert!(nr < META_TILE && nc < META_TILE, "({row},{col}) -> ({nr},{nc})");
+                assert!(
+                    nr < META_TILE && nc < META_TILE,
+                    "({row},{col}) -> ({nr},{nc})"
+                );
                 let idx = nr * META_TILE + nc;
                 assert!(!seen[idx], "collision at ({nr},{nc})");
                 seen[idx] = true;

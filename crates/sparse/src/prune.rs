@@ -38,7 +38,9 @@ impl PruneFormat {
     pub fn label(&self) -> String {
         match self {
             PruneFormat::Dense => "dense".to_string(),
-            PruneFormat::Unstructured { sparsity } => format!("unstructured-{:.0}%", sparsity * 100.0),
+            PruneFormat::Unstructured { sparsity } => {
+                format!("unstructured-{:.0}%", sparsity * 100.0)
+            }
             PruneFormat::Nm(c) => format!("{}:{}", c.n, c.m),
             PruneFormat::Venom(c) => format!("venom-{}:{}:{}", c.v, c.n, c.m),
             PruneFormat::Samoyeds(c) => format!("samoyeds-{}", c.label()),
@@ -102,11 +104,13 @@ impl PrunedWeight {
 pub fn prune(dense: &DenseMatrix, format: PruneFormat) -> Result<PrunedWeight> {
     match format {
         PruneFormat::Dense => Ok(PrunedWeight::Dense(dense.clone())),
-        PruneFormat::Unstructured { sparsity } => {
-            Ok(PrunedWeight::Unstructured(prune_unstructured(dense, sparsity)?))
-        }
+        PruneFormat::Unstructured { sparsity } => Ok(PrunedWeight::Unstructured(
+            prune_unstructured(dense, sparsity)?,
+        )),
         PruneFormat::Nm(cfg) => Ok(PrunedWeight::Nm(NmMatrix::prune_from_dense(dense, cfg)?)),
-        PruneFormat::Venom(cfg) => Ok(PrunedWeight::Venom(VenomMatrix::prune_from_dense(dense, cfg)?)),
+        PruneFormat::Venom(cfg) => Ok(PrunedWeight::Venom(VenomMatrix::prune_from_dense(
+            dense, cfg,
+        )?)),
         PruneFormat::Samoyeds(cfg) => Ok(PrunedWeight::Samoyeds(SamoyedsWeight::prune_from_dense(
             dense, cfg,
         )?)),
@@ -148,13 +152,17 @@ pub fn apply_mask_of(reference: &PrunedWeight, target: &DenseMatrix) -> Result<D
     if ref_dense.shape() != target.shape() {
         return Err(SparseError::shape("mask/target shape mismatch"));
     }
-    Ok(DenseMatrix::from_fn(target.rows(), target.cols(), |r, c| {
-        if ref_dense.get(r, c) != 0.0 {
-            target.get(r, c)
-        } else {
-            0.0
-        }
-    }))
+    Ok(DenseMatrix::from_fn(
+        target.rows(),
+        target.cols(),
+        |r, c| {
+            if ref_dense.get(r, c) != 0.0 {
+                target.get(r, c)
+            } else {
+                0.0
+            }
+        },
+    ))
 }
 
 #[cfg(test)]
@@ -170,12 +178,16 @@ mod tests {
             "unstructured-75%"
         );
         assert_eq!(PruneFormat::Nm(NmConfig::TWO_FOUR).label(), "2:4");
-        assert!(PruneFormat::Venom(VenomConfig::V64_2_8).label().starts_with("venom"));
+        assert!(PruneFormat::Venom(VenomConfig::V64_2_8)
+            .label()
+            .starts_with("venom"));
         assert_eq!(
             PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT).label(),
             "samoyeds-(1,2,32)"
         );
-        assert!((PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT).nominal_sparsity() - 0.75).abs() < 1e-9);
+        assert!(
+            (PruneFormat::Samoyeds(SamoyedsConfig::DEFAULT).nominal_sparsity() - 0.75).abs() < 1e-9
+        );
         assert_eq!(PruneFormat::Dense.nominal_sparsity(), 0.0);
     }
 

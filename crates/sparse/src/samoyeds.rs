@@ -58,7 +58,7 @@ impl SamoyedsConfig {
                 self.n, self.m, self.v
             )));
         }
-        if self.v % 4 != 0 {
+        if !self.v.is_multiple_of(4) {
             return Err(SparseError::config(format!(
                 "Sub-Row length V={} must contain whole 2:4 SpTC units (multiple of 4)",
                 self.v
@@ -447,7 +447,10 @@ mod tests {
         let w = SamoyedsWeight::prune_from_dense(&d, SamoyedsConfig::DEFAULT).unwrap();
         let b = DenseMatrix::random(64, 40, 22);
         let sel = vec![0, 3, 5, 8, 13, 21, 34, 39];
-        let expected = w.to_dense().matmul(&b.select_columns(&sel).unwrap()).unwrap();
+        let expected = w
+            .to_dense()
+            .matmul(&b.select_columns(&sel).unwrap())
+            .unwrap();
         let got = w.spmm_selected(&b, &sel).unwrap();
         assert!(got.allclose(&expected, 1e-3, 1e-3));
         assert_eq!(got.cols(), sel.len());

@@ -46,8 +46,10 @@ impl VenomConfig {
             )));
         }
         // The compacted panel must still be divisible by the 2:4 group size.
-        if (self.n * 4) % 4 != 0 {
-            return Err(SparseError::config("kept columns not 2:4 alignable".to_string()));
+        if !(self.n * 4).is_multiple_of(4) {
+            return Err(SparseError::config(
+                "kept columns not 2:4 alignable".to_string(),
+            ));
         }
         Ok(())
     }
@@ -94,7 +96,7 @@ impl VenomMatrix {
             )));
         }
         let kept_cols = cols / config.m * config.n;
-        if kept_cols % 4 != 0 {
+        if !kept_cols.is_multiple_of(4) {
             return Err(SparseError::shape(format!(
                 "kept columns {kept_cols} not divisible by 4 (2:4 requirement)"
             )));
@@ -134,8 +136,10 @@ impl VenomMatrix {
                 let r = row_start + i;
                 for q in 0..kept_cols / 4 {
                     let group_cols = &panel_cols[q * 4..(q + 1) * 4];
-                    let group_vals: Vec<f32> =
-                        group_cols.iter().map(|&c| dense.get(r, c as usize)).collect();
+                    let group_vals: Vec<f32> = group_cols
+                        .iter()
+                        .map(|&c| dense.get(r, c as usize))
+                        .collect();
                     let mut order: Vec<usize> = (0..4).collect();
                     order.sort_by(|&a, &b| {
                         group_vals[b]
@@ -329,7 +333,10 @@ mod tests {
                         live_cols += 1;
                     }
                 }
-                assert!(live_cols <= 2, "panel {p} group {g} has {live_cols} live columns");
+                assert!(
+                    live_cols <= 2,
+                    "panel {p} group {g} has {live_cols} live columns"
+                );
             }
         }
         // Total sparsity close to 87.5%.

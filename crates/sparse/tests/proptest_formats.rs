@@ -153,6 +153,53 @@ proptest! {
     }
 
     #[test]
+    fn venom_prune_roundtrip_is_idempotent(
+        panels in 1usize..4,
+        col_groups in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        // Encoding the dense expansion of a pruned matrix must reproduce the
+        // same matrix: the V:N:M structure is a fixed point of its own
+        // magnitude pruning.
+        let cfg = VenomConfig { v: 8, n: 2, m: 8 };
+        let d = DenseMatrix::random(panels * 8, col_groups * 16, seed);
+        let vm = VenomMatrix::prune_from_dense(&d, cfg).unwrap();
+        let dense = vm.to_dense();
+        let vm2 = VenomMatrix::prune_from_dense(&dense, cfg).unwrap();
+        prop_assert_eq!(vm2.to_dense(), dense.clone());
+        // Shape is preserved, the stored nonzeros match the expansion, and
+        // the compressed encoding beats dense storage.
+        prop_assert_eq!((vm.rows(), vm.cols()), d.shape());
+        prop_assert_eq!(vm.nnz(), dense.nnz());
+        prop_assert!(vm.storage_bytes(true) < d.storage_bytes(true));
+        prop_assert!(vm.compression_ratio(true) > 1.0);
+    }
+
+    #[test]
+    fn samoyeds_prune_roundtrip_is_idempotent(
+        row_blocks in 1usize..5,
+        col_blocks in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let cfg = SamoyedsConfig { n: 1, m: 2, v: 16 };
+        let d = DenseMatrix::random(row_blocks * 2, col_blocks * 16, seed);
+        let w = SamoyedsWeight::prune_from_dense(&d, cfg).unwrap();
+        let dense = w.to_dense();
+        let w2 = SamoyedsWeight::prune_from_dense(&dense, cfg).unwrap();
+        prop_assert_eq!(w2.to_dense(), dense.clone());
+        prop_assert_eq!((w.rows(), w.cols()), d.shape());
+        prop_assert_eq!(w.nnz(), dense.nnz());
+        // The dual-side format must compress at both precisions.
+        prop_assert!(w.storage_bytes(true) < d.storage_bytes(true));
+        prop_assert!(w.storage_bytes(false) < d.storage_bytes(false));
+        // The unselected spmm path agrees with the dense expansion too.
+        let b = DenseMatrix::random(d.cols(), 6, seed.wrapping_add(9));
+        let expected = dense.matmul(&b).unwrap();
+        let got = w.spmm(&b).unwrap();
+        prop_assert!(got.allclose(&expected, 1e-3, 1e-3));
+    }
+
+    #[test]
     fn metadata_packing_roundtrip(values in proptest::collection::vec(0u8..4, 256)) {
         let reorganized = packing::reorganize_metadata_tile(&values).unwrap();
         let restored = packing::restore_metadata_tile(&reorganized).unwrap();

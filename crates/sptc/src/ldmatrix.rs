@@ -89,7 +89,11 @@ pub fn ldmatrix_passes(row_offsets: &[usize]) -> usize {
 /// This is the quantity the kernel cost model uses to credit the swizzled
 /// layout: the swizzled layout yields 1 pass, the naive layout typically
 /// yields several when the row stride is a multiple of the bank period.
-pub fn tile_ldmatrix_passes(layout: SharedLayout, tile_rows: usize, row_stride_bytes: usize) -> usize {
+pub fn tile_ldmatrix_passes(
+    layout: SharedLayout,
+    tile_rows: usize,
+    row_stride_bytes: usize,
+) -> usize {
     // One ldmatrix row fragment per tile row; warp loads 32 fragments at a
     // time (or fewer for small tiles).
     let rows = tile_rows.min(WARP_SIZE);
@@ -143,7 +147,10 @@ mod tests {
         let naive = tile_ldmatrix_passes(SharedLayout::Naive, 32, 128);
         assert!(naive >= 4, "expected heavy conflicts, got {naive} passes");
         let swizzled = tile_ldmatrix_passes(SharedLayout::Swizzled, 32, 128);
-        assert!(swizzled <= 2, "swizzled layout should be nearly conflict-free, got {swizzled}");
+        assert!(
+            swizzled <= 2,
+            "swizzled layout should be nearly conflict-free, got {swizzled}"
+        );
         assert!(swizzled < naive);
     }
 

@@ -52,7 +52,13 @@ impl MmaTile {
     /// Extract a `rows x cols` tile from `m` starting at `(row0, col0)`,
     /// zero-padding anything that falls outside the matrix (the padding the
     /// MoE layer needs when a tile straddles the token count).
-    pub fn from_matrix(m: &DenseMatrix, row0: usize, col0: usize, rows: usize, cols: usize) -> Self {
+    pub fn from_matrix(
+        m: &DenseMatrix,
+        row0: usize,
+        col0: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Self {
         let mut t = MmaTile::zeros(rows, cols);
         for r in 0..rows {
             for c in 0..cols {
@@ -135,7 +141,9 @@ impl SparseATile {
             )));
         }
         if metadata.iter().any(|&m| m > 3) {
-            return Err(SparseError::pattern("metadata entry exceeds 2 bits".to_string()));
+            return Err(SparseError::pattern(
+                "metadata entry exceeds 2 bits".to_string(),
+            ));
         }
         // Within each group of 2 stored values the positions must be strictly
         // increasing, as the hardware requires.
@@ -170,9 +178,7 @@ impl SparseATile {
         let mut metadata = vec![0u8; MMA_M * MMA_K_DENSE];
         for r in 0..MMA_M {
             for g in 0..MMA_K_SPARSE / 4 {
-                let nz: Vec<usize> = (0..4)
-                    .filter(|&j| tile.get(r, g * 4 + j) != 0.0)
-                    .collect();
+                let nz: Vec<usize> = (0..4).filter(|&j| tile.get(r, g * 4 + j) != 0.0).collect();
                 if nz.len() > 2 {
                     return Err(SparseError::pattern(format!(
                         "row {r} group {g} has {} nonzeros (2:4 violated)",

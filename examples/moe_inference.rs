@@ -45,7 +45,10 @@ fn main() {
     let cfg = MoeModelConfig::mixtral_8x7b();
     let tokens = 4096;
     let plan = TopKRouter::for_config(&cfg, 42).route(tokens);
-    println!("\n{} MoE layer, {} tokens, predicted on {}:", cfg.name, tokens, device.name);
+    println!(
+        "\n{} MoE layer, {} tokens, predicted on {}:",
+        cfg.name, tokens, device.name
+    );
     let baseline = Engine::new(EngineKind::Transformers, device.clone())
         .moe_layer_cost(&cfg, tokens, &plan)
         .time_ms;

@@ -13,19 +13,41 @@ use samoyeds::sparse::venom::VenomConfig;
 fn main() {
     let formats: Vec<(&str, PruneFormat)> = vec![
         ("dense", PruneFormat::Dense),
-        ("unstructured-75%", PruneFormat::Unstructured { sparsity: 0.75 }),
-        ("venom-64:4:8", PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 })),
-        ("samoyeds-(1,2,16)", PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V16)),
-        ("samoyeds-(1,2,32)", PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V32)),
-        ("samoyeds-(4,8,32)", PruneFormat::Samoyeds(SamoyedsConfig::N4_M8_V32)),
-        ("samoyeds-(8,16,32)", PruneFormat::Samoyeds(SamoyedsConfig::N8_M16_V32)),
+        (
+            "unstructured-75%",
+            PruneFormat::Unstructured { sparsity: 0.75 },
+        ),
+        (
+            "venom-64:4:8",
+            PruneFormat::Venom(VenomConfig { v: 64, n: 4, m: 8 }),
+        ),
+        (
+            "samoyeds-(1,2,16)",
+            PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V16),
+        ),
+        (
+            "samoyeds-(1,2,32)",
+            PruneFormat::Samoyeds(SamoyedsConfig::N1_M2_V32),
+        ),
+        (
+            "samoyeds-(4,8,32)",
+            PruneFormat::Samoyeds(SamoyedsConfig::N4_M8_V32),
+        ),
+        (
+            "samoyeds-(8,16,32)",
+            PruneFormat::Samoyeds(SamoyedsConfig::N8_M16_V32),
+        ),
     ];
 
     println!("== QA proxy (Table 4 style, F1, higher is better) ==");
     let bert = ProxyTask::bert_like("Bert-base (proxy)", 3);
     for (label, fmt) in &formats {
         let r = bert.evaluate(*fmt, PruneMethod::WoodFisher).unwrap();
-        println!("  {label:<20} F1 {:>6.2}   retained energy {:>5.1}%", r.f1, r.retained_energy * 100.0);
+        println!(
+            "  {label:<20} F1 {:>6.2}   retained energy {:>5.1}%",
+            r.f1,
+            r.retained_energy * 100.0
+        );
     }
 
     println!("\n== LM proxies (Table 5 style, perplexity, lower is better) ==");

@@ -14,6 +14,7 @@ pub use samoyeds_gpu_sim as gpu_sim;
 pub use samoyeds_kernels as kernels;
 pub use samoyeds_moe as moe;
 pub use samoyeds_pruning as pruning;
+pub use samoyeds_serve as serve;
 pub use samoyeds_sparse as sparse;
 pub use samoyeds_sptc as sptc;
 

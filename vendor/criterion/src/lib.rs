@@ -1,0 +1,177 @@
+//! Minimal stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Supports the subset the workspace benches use: `Criterion::bench_function`,
+//! `benchmark_group` + `bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box` and the `criterion_group!` / `criterion_main!` macros. Each
+//! benchmark is warmed up, timed for a short budget and reported as one line
+//! of mean time per iteration — no statistics, plots or baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque wrapper defeating constant-propagation (std's `black_box`).
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs the closure under timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, storing the mean per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        for _ in 0..3 {
+            black_box(f());
+        }
+        let budget = Duration::from_millis(50);
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while started.elapsed() < budget && iters < 1000 {
+            black_box(f());
+            iters += 1;
+        }
+        let elapsed = started.elapsed();
+        self.iters = iters.max(1);
+        self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let mean = bencher.mean_ns;
+    let (value, unit) = if mean >= 1e9 {
+        (mean / 1e9, "s")
+    } else if mean >= 1e6 {
+        (mean / 1e6, "ms")
+    } else if mean >= 1e3 {
+        (mean / 1e3, "µs")
+    } else {
+        (mean, "ns")
+    };
+    println!(
+        "{name:<60} time: {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// Identifier for one parameterised benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, matching criterion's display convention.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` with `input`, labelled by `id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.full), &bencher);
+        self
+    }
+
+    /// Benchmark `f`, labelled by `id`.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// End the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark one closure.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+}
+
+/// Bundle benchmark functions into a group runner (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running every group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.mean_ns > 0.0);
+        assert!(b.iters >= 1);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        c.bench_function("four", |b| b.iter(|| 2 + 2));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("x", 1), &3usize, |b, &v| b.iter(|| v * 2));
+        g.finish();
+    }
+}

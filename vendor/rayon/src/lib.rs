@@ -1,0 +1,72 @@
+//! Minimal sequential stand-in for `rayon` (see `vendor/README.md`).
+//!
+//! `par_iter()` returns the ordinary std iterator, so every adaptor chain
+//! (`map`, `filter`, `collect`, …) works unchanged — just without
+//! parallelism, which is acceptable for the analytical cost-model sweeps the
+//! workspace runs.
+
+/// The rayon prelude: iterator-conversion traits.
+pub mod prelude {
+    /// `par_iter()` on `&self` — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Item yielded by the iterator.
+        type Item: 'data;
+        /// The iterator type (a std iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data + Sync> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `into_par_iter()` — sequential fallback.
+    pub trait IntoParallelIterator {
+        /// Item yielded by the iterator.
+        type Item;
+        /// The iterator type (a std iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Sequential stand-in for rayon's parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_behaves_like_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let sum: i32 = v.into_par_iter().sum();
+        assert_eq!(sum, 10);
+    }
+}

@@ -1,0 +1,17 @@
+//! Minimal stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Re-exports the no-op derive macros and declares the two marker traits so
+//! that `use serde::{Deserialize, Serialize}` resolves. No type in the
+//! workspace is ever serialized, so the traits carry no methods and the
+//! derives implement nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s name.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s name.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait matching `serde::de::DeserializeOwned`'s name.
+pub trait DeserializeOwned {}

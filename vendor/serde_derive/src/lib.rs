@@ -1,0 +1,19 @@
+//! No-op stand-in for the `serde_derive` proc-macro crate.
+//!
+//! The workspace derives `Serialize` / `Deserialize` on its data types but
+//! never actually serializes anything, so the derives can safely expand to
+//! nothing. See `vendor/README.md`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing: the workspace never serializes.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing: the workspace never deserializes.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
