@@ -1,6 +1,7 @@
 //! One function per table/figure of the paper's evaluation (§6).
 
 use rayon::prelude::*;
+use samoyeds_dist::{render_fleet_sizing, render_placement_comparison, ClusterReport};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_kernels::autotune::{adapt_for_device, suggested_adaptation, Adaptation};
 use samoyeds_kernels::gemm_dense::DenseGemm;
@@ -55,6 +56,10 @@ pub enum Experiment {
     /// Beyond the paper: continuous-batching serving sweep (per-engine
     /// throughput and latency percentiles on a shared request trace).
     ServingSweep,
+    /// Beyond the paper: multi-GPU expert-parallel cluster sweep (dense vs
+    /// VENOM vs Samoyeds on 1/2/4/8 GPUs, fleet sizing, placement
+    /// strategies).
+    ClusterSweep,
 }
 
 impl Experiment {
@@ -76,6 +81,7 @@ impl Experiment {
             Experiment::Table6Adaptation => "table6_adaptation",
             Experiment::Fig19PitCompare => "fig19_pit_compare",
             Experiment::ServingSweep => "serving_sweep",
+            Experiment::ClusterSweep => "cluster_sweep",
         }
     }
 }
@@ -98,6 +104,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::Table6Adaptation,
         Experiment::Fig19PitCompare,
         Experiment::ServingSweep,
+        Experiment::ClusterSweep,
     ]
 }
 
@@ -119,6 +126,7 @@ pub fn run_experiment(exp: Experiment) -> Vec<String> {
         Experiment::Table6Adaptation => table6_adaptation(),
         Experiment::Fig19PitCompare => fig19_pit_compare(),
         Experiment::ServingSweep => serving_sweep(),
+        Experiment::ClusterSweep => cluster_sweep(),
     }
 }
 
@@ -722,6 +730,30 @@ pub fn serving_sweep() -> Vec<String> {
     rows
 }
 
+/// Beyond the paper: multi-GPU expert-parallel cluster comparison. A fixed
+/// token batch is sharded across 1/2/4/8 GPUs of the consumer RTX 4070
+/// Super (PCIe) and the datacenter A100 (NVLink) under three weight
+/// representations; the fleet-sizing table shows the compressed formats
+/// holding the model on fewer GPUs (the multi-GPU analogue of Table 3), and
+/// the placement table shows load-aware strategies beating round-robin on
+/// an imbalanced routing plan.
+pub fn cluster_sweep() -> Vec<String> {
+    let model = MoeModelConfig::qwen2_moe();
+    let mut rows = ClusterReport::gpu_count_sweep(&model, 4096, 42).render_markdown();
+    rows.push(String::new());
+    rows.extend(render_fleet_sizing(&model, 4096));
+    rows.push(String::new());
+    rows.extend(render_placement_comparison(
+        &model,
+        &DeviceSpec::a100_40g(),
+        8,
+        4096,
+        1.5,
+        9,
+    ));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -741,7 +773,17 @@ mod tests {
             let rows = run_experiment(exp);
             assert!(rows.len() >= 3, "{} rows {}", exp.id(), rows.len());
         }
-        assert_eq!(all_experiments().len(), 15);
+        assert_eq!(all_experiments().len(), 16);
+    }
+
+    #[test]
+    fn cluster_sweep_shows_fleet_sizing_and_placement_wins() {
+        let rows = cluster_sweep();
+        // The consumer-card dense cells OOM while Samoyeds serves.
+        assert!(rows.iter().any(|r| r.contains("OOM")));
+        assert!(rows.iter().any(|r| r.starts_with("Fleet sizing")));
+        assert!(rows.iter().any(|r| r.starts_with("Placement comparison")));
+        assert!(rows.iter().any(|r| r.contains("capacity-greedy")));
     }
 
     #[test]

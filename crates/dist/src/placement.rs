@@ -1,0 +1,504 @@
+//! Expert placement: which GPU owns which expert, under per-GPU memory
+//! budgets.
+//!
+//! Expert parallelism shards the routed experts of every MoE layer across
+//! the cluster while the attention blocks, the router and any shared experts
+//! stay replicated on every GPU (the DeepSpeed-MoE / GShard deployment
+//! shape). Placement decides the shard map. Three strategies are modeled:
+//!
+//! * **round-robin** — expert `e` to GPU `e mod g`; oblivious to load;
+//! * **capacity-aware greedy** — experts in descending load order, each to
+//!   the least-loaded GPU with memory headroom (LPT scheduling);
+//! * **replicated hot experts** — the hottest experts are replicated on
+//!   every GPU (splitting their traffic) and the rest placed greedily.
+//!
+//! Every strategy validates the result against the per-GPU memory budget
+//! built from the engine's weight representation — the cluster-level analogue
+//! of the admission control in `samoyeds_serve::memory` (and the reason the
+//! Samoyeds compressed format needs fewer GPUs than dense weights, the
+//! fleet-sizing version of Table 3).
+
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_kernels::samoyeds_kernel::SamoyedsOptions;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::{Engine, EngineKind};
+use samoyeds_serve::MemoryModel as ServeMemoryModel;
+use samoyeds_sparse::venom::VenomConfig;
+use samoyeds_sparse::{Result, SparseError};
+use serde::{Deserialize, Serialize};
+
+/// The weight representations compared at the cluster level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClusterEngine {
+    /// Dense bf16 weights, Transformers-style execution.
+    Dense,
+    /// VENOM V:N:M weight sparsity (75%, V64:4:8): compressed weights but
+    /// no input-side sparsity — the expert kernels still run on gathered
+    /// dense inputs (the "+W" data flow of Figure 17).
+    Venom,
+    /// Samoyeds dual-side structured sparsity (SEL-driven kernels).
+    Samoyeds,
+}
+
+impl ClusterEngine {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterEngine::Dense => "Dense",
+            ClusterEngine::Venom => "VENOM",
+            ClusterEngine::Samoyeds => "Samoyeds",
+        }
+    }
+
+    /// All cluster engines in presentation order.
+    pub fn all() -> [ClusterEngine; 3] {
+        [
+            ClusterEngine::Dense,
+            ClusterEngine::Venom,
+            ClusterEngine::Samoyeds,
+        ]
+    }
+
+    /// The execution engine that prices this representation's compute.
+    pub fn engine(&self, device: &DeviceSpec) -> Engine {
+        match self {
+            ClusterEngine::Dense => Engine::new(EngineKind::Transformers, device.clone()),
+            // VENOM-style weight-only sparsity maps onto the Samoyeds
+            // engine's "+W" configuration: sparse weight kernels, dense
+            // inputs, permute/un-permute round trips.
+            ClusterEngine::Venom => Engine::new(EngineKind::Samoyeds, device.clone())
+                .with_samoyeds_options(SamoyedsOptions::WEIGHT_ONLY),
+            ClusterEngine::Samoyeds => Engine::new(EngineKind::Samoyeds, device.clone()),
+        }
+    }
+
+    /// Resident MoE weight bytes of one decoder layer under this
+    /// representation.
+    pub fn moe_weight_bytes_per_layer(&self, device: &DeviceSpec, config: &MoeModelConfig) -> f64 {
+        match self {
+            // Dense and Samoyeds reuse the engine memory model directly.
+            ClusterEngine::Dense | ClusterEngine::Samoyeds => {
+                self.engine(device).weight_bytes(config)
+            }
+            // VENOM stores compressed values + 2:4 metadata (1.125x the
+            // kept values) + per-panel column indices (n u16 ids per V x M
+            // cell).
+            ClusterEngine::Venom => {
+                let venom = VenomConfig { v: 64, n: 4, m: 8 };
+                let params = config.params_per_moe_layer() as f64;
+                let dense = params * 2.0;
+                let index_bytes = params * venom.n as f64 / (venom.v * venom.m) as f64 * 2.0;
+                dense * (1.0 - venom.sparsity()) * 1.125 + index_bytes
+            }
+        }
+    }
+}
+
+/// Per-GPU memory accounting of an expert-parallel deployment.
+///
+/// Resident on every GPU: the attention projections, the router and the
+/// shared experts of every layer (replicated), plus the KV cache of the
+/// tokens the GPU hosts and one layer's activation workspace. Resident only
+/// on the owning GPU: each routed expert's weights across all layers.
+#[derive(Debug, Clone)]
+pub struct ClusterMemoryModel {
+    engine: Engine,
+    config: MoeModelConfig,
+    budget_bytes: f64,
+    base_bytes: f64,
+    expert_bytes: f64,
+    kv_bytes_per_token: f64,
+}
+
+impl ClusterMemoryModel {
+    /// Build the per-GPU memory model.
+    pub fn new(device: &DeviceSpec, engine: ClusterEngine, config: &MoeModelConfig) -> Self {
+        let compute_engine = engine.engine(device);
+        // Budget and KV-cache accounting are shared with the single-GPU
+        // serving admission control (both are engine-independent) so the
+        // two layers can never disagree about what fits a device.
+        let serve_memory = ServeMemoryModel::new(device, compute_engine.kind(), config);
+        let layers = config.num_layers as f64;
+        let moe_layer = engine.moe_weight_bytes_per_layer(device, config);
+        let expert_fraction =
+            config.params_per_expert() as f64 / config.params_per_moe_layer() as f64;
+        let expert_layer = moe_layer * expert_fraction;
+        // Router + shared experts are whatever is left of the MoE layer once
+        // the routed experts are taken out; attention weights ride along.
+        let base_layer = moe_layer - config.num_experts as f64 * expert_layer
+            + config.params_per_attention() as f64 * 2.0;
+        Self {
+            engine: compute_engine,
+            config: config.clone(),
+            budget_bytes: serve_memory.budget_bytes(),
+            base_bytes: base_layer * layers,
+            expert_bytes: expert_layer * layers,
+            kv_bytes_per_token: serve_memory.kv_bytes(1),
+        }
+    }
+
+    /// Usable bytes per GPU.
+    pub fn budget_bytes(&self) -> f64 {
+        self.budget_bytes
+    }
+
+    /// Bytes replicated on every GPU (attention + router + shared experts,
+    /// all layers).
+    pub fn base_bytes(&self) -> f64 {
+        self.base_bytes
+    }
+
+    /// Bytes of one routed expert across all layers.
+    pub fn expert_bytes(&self) -> f64 {
+        self.expert_bytes
+    }
+
+    /// KV-cache bytes for `tokens` resident tokens.
+    pub fn kv_bytes(&self, tokens: usize) -> f64 {
+        tokens as f64 * self.kv_bytes_per_token
+    }
+
+    /// Total bytes on a GPU owning `experts` routed experts, hosting
+    /// `resident_tokens` KV tokens and running a step over `step_tokens`.
+    pub fn gpu_bytes(&self, experts: usize, resident_tokens: usize, step_tokens: usize) -> f64 {
+        self.base_bytes
+            + experts as f64 * self.expert_bytes
+            + self.kv_bytes(resident_tokens)
+            + self.engine.activation_bytes(&self.config, step_tokens)
+    }
+
+    /// Whether that GPU fits its budget.
+    pub fn fits(&self, experts: usize, resident_tokens: usize, step_tokens: usize) -> bool {
+        self.gpu_bytes(experts, resident_tokens, step_tokens) <= self.budget_bytes
+    }
+
+    /// The largest number of routed experts one GPU can own alongside
+    /// `resident_tokens` KV tokens and `step_tokens` in flight (0 when even
+    /// the replicated base does not fit).
+    pub fn max_experts_per_gpu(&self, resident_tokens: usize, step_tokens: usize) -> usize {
+        if !self.fits(0, resident_tokens, step_tokens) {
+            return 0;
+        }
+        let free = self.budget_bytes - self.gpu_bytes(0, resident_tokens, step_tokens);
+        (free / self.expert_bytes).floor() as usize
+    }
+}
+
+/// Expert placement strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// Expert `e` on GPU `e mod g`, oblivious to load.
+    RoundRobin,
+    /// Experts in descending load order, each to the least-loaded GPU with
+    /// memory headroom (LPT scheduling).
+    CapacityGreedy,
+    /// The `hot` highest-load experts replicated on every GPU (their
+    /// traffic splits evenly); the rest placed capacity-greedily.
+    ReplicateHot {
+        /// How many of the hottest experts to replicate.
+        hot: usize,
+    },
+}
+
+impl PlacementStrategy {
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlacementStrategy::RoundRobin => "round-robin",
+            PlacementStrategy::CapacityGreedy => "capacity-greedy",
+            PlacementStrategy::ReplicateHot { .. } => "replicate-hot",
+        }
+    }
+
+    /// Place `loads.len()` experts on `num_gpus` GPUs. `loads` is the
+    /// per-expert load profile the strategy balances against — token counts
+    /// or, better, a predicted per-expert cost profile (see
+    /// `ClusterSimulator::expert_cost_profile`);
+    /// `resident_tokens` / `step_tokens` parameterise the per-GPU memory
+    /// headroom check (KV cache + activation workspace alongside weights).
+    ///
+    /// Errors when any GPU would exceed its memory budget — the caller
+    /// decides whether to add GPUs or shrink the model.
+    pub fn place(
+        &self,
+        loads: &[usize],
+        num_gpus: usize,
+        memory: &ClusterMemoryModel,
+        resident_tokens: usize,
+        step_tokens: usize,
+    ) -> Result<ExpertPlacement> {
+        if num_gpus == 0 {
+            return Err(SparseError::config("cluster needs at least one GPU"));
+        }
+        let num_experts = loads.len();
+        let capacity = memory.max_experts_per_gpu(resident_tokens, step_tokens);
+        let mut gpu_experts: Vec<Vec<usize>> = vec![Vec::new(); num_gpus];
+
+        // Shared greedy core: experts in descending load order, least
+        // effective load first, bounded by the per-GPU expert capacity.
+        let greedy = |experts: &mut dyn Iterator<Item = usize>,
+                      gpu_experts: &mut Vec<Vec<usize>>,
+                      effective: &mut Vec<f64>|
+         -> Result<()> {
+            for e in experts {
+                let candidate = (0..num_gpus)
+                    .filter(|&g| gpu_experts[g].len() < capacity)
+                    .min_by(|&a, &b| {
+                        effective[a]
+                            .partial_cmp(&effective[b])
+                            .expect("finite loads")
+                            .then(gpu_experts[a].len().cmp(&gpu_experts[b].len()))
+                            .then(a.cmp(&b))
+                    });
+                match candidate {
+                    Some(g) => {
+                        gpu_experts[g].push(e);
+                        effective[g] += loads[e] as f64;
+                    }
+                    None => {
+                        return Err(SparseError::config(format!(
+                            "no GPU has memory headroom for expert {e} \
+                             (capacity {capacity} experts/GPU over {num_gpus} GPUs)"
+                        )))
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        match self {
+            PlacementStrategy::RoundRobin => {
+                for e in 0..num_experts {
+                    gpu_experts[e % num_gpus].push(e);
+                }
+            }
+            PlacementStrategy::CapacityGreedy => {
+                let mut order: Vec<usize> = (0..num_experts).collect();
+                order.sort_by_key(|&e| (std::cmp::Reverse(loads[e]), e));
+                let mut effective = vec![0.0f64; num_gpus];
+                greedy(&mut order.into_iter(), &mut gpu_experts, &mut effective)?;
+            }
+            PlacementStrategy::ReplicateHot { hot } => {
+                let mut order: Vec<usize> = (0..num_experts).collect();
+                order.sort_by_key(|&e| (std::cmp::Reverse(loads[e]), e));
+                let hot_set: Vec<usize> = order.iter().take(*hot).copied().collect();
+                let mut effective = vec![0.0f64; num_gpus];
+                for &e in &hot_set {
+                    // A replica on every GPU; the traffic splits g ways.
+                    for (g, owned) in gpu_experts.iter_mut().enumerate() {
+                        owned.push(e);
+                        effective[g] += loads[e] as f64 / num_gpus as f64;
+                    }
+                }
+                greedy(
+                    &mut order.into_iter().skip(*hot),
+                    &mut gpu_experts,
+                    &mut effective,
+                )?;
+            }
+        }
+
+        let placement = ExpertPlacement {
+            strategy: *self,
+            gpu_experts,
+        };
+        placement.validate(memory, resident_tokens, step_tokens)?;
+        Ok(placement)
+    }
+}
+
+/// A concrete expert-to-GPU shard map.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExpertPlacement {
+    /// The strategy that produced the map.
+    pub strategy: PlacementStrategy,
+    /// For each GPU, the global expert ids it owns (an expert on several
+    /// GPUs is a replicated hot expert).
+    pub gpu_experts: Vec<Vec<usize>>,
+}
+
+impl ExpertPlacement {
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.gpu_experts.len()
+    }
+
+    /// The shard map in the shape [`samoyeds_moe::router::RoutingPlan::shard`]
+    /// consumes.
+    pub fn assignments(&self) -> &[Vec<usize>] {
+        &self.gpu_experts
+    }
+
+    /// How many replicas each of `num_experts` experts has.
+    pub fn replica_counts(&self, num_experts: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_experts];
+        for owned in &self.gpu_experts {
+            for &e in owned {
+                counts[e] += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-GPU effective token load under `loads` (a replicated expert's
+    /// load splits evenly across its replicas).
+    pub fn effective_gpu_loads(&self, loads: &[usize]) -> Vec<f64> {
+        let replicas = self.replica_counts(loads.len());
+        self.gpu_experts
+            .iter()
+            .map(|owned| {
+                owned
+                    .iter()
+                    .map(|&e| loads[e] as f64 / replicas[e].max(1) as f64)
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// Load imbalance across GPUs: max effective load over the mean.
+    pub fn imbalance(&self, loads: &[usize]) -> f64 {
+        let effective = self.effective_gpu_loads(loads);
+        let total: f64 = effective.iter().sum();
+        if total == 0.0 {
+            return 1.0;
+        }
+        let mean = total / effective.len() as f64;
+        effective.iter().fold(0.0f64, |m, &l| m.max(l)) / mean
+    }
+
+    /// Per-GPU resident weight bytes under `memory` (base + owned experts).
+    pub fn per_gpu_weight_bytes(&self, memory: &ClusterMemoryModel) -> Vec<f64> {
+        self.gpu_experts
+            .iter()
+            .map(|owned| memory.base_bytes() + owned.len() as f64 * memory.expert_bytes())
+            .collect()
+    }
+
+    /// Check every GPU against its memory budget.
+    pub fn validate(
+        &self,
+        memory: &ClusterMemoryModel,
+        resident_tokens: usize,
+        step_tokens: usize,
+    ) -> Result<()> {
+        for (g, owned) in self.gpu_experts.iter().enumerate() {
+            if !memory.fits(owned.len(), resident_tokens, step_tokens) {
+                return Err(SparseError::config(format!(
+                    "GPU {g} exceeds its memory budget: {} experts need {:.2} GiB of {:.2} GiB",
+                    owned.len(),
+                    memory.gpu_bytes(owned.len(), resident_tokens, step_tokens)
+                        / (1u64 << 30) as f64,
+                    memory.budget_bytes() / (1u64 << 30) as f64,
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qwen_on_a100() -> (ClusterMemoryModel, MoeModelConfig) {
+        let config = MoeModelConfig::qwen2_moe();
+        (
+            ClusterMemoryModel::new(&DeviceSpec::a100_40g(), ClusterEngine::Samoyeds, &config),
+            config,
+        )
+    }
+
+    #[test]
+    fn memory_model_orders_representations() {
+        let device = DeviceSpec::a100_40g();
+        let config = MoeModelConfig::qwen2_moe();
+        let dense = ClusterMemoryModel::new(&device, ClusterEngine::Dense, &config);
+        let venom = ClusterMemoryModel::new(&device, ClusterEngine::Venom, &config);
+        let samoyeds = ClusterMemoryModel::new(&device, ClusterEngine::Samoyeds, &config);
+        // Compressed experts are a fraction of dense; VENOM and Samoyeds
+        // land in the same ballpark (both keep 25% of values + metadata).
+        assert!(samoyeds.expert_bytes() < dense.expert_bytes() * 0.4);
+        assert!(venom.expert_bytes() < dense.expert_bytes() * 0.4);
+        let ratio = venom.expert_bytes() / samoyeds.expert_bytes();
+        assert!((0.8..1.2).contains(&ratio), "venom/samoyeds ratio {ratio}");
+        // More compression -> more experts per GPU.
+        assert!(samoyeds.max_experts_per_gpu(4096, 4096) > dense.max_experts_per_gpu(4096, 4096));
+    }
+
+    #[test]
+    fn round_robin_and_greedy_place_every_expert_exactly_once() {
+        let (memory, config) = qwen_on_a100();
+        let loads = vec![100usize; config.num_experts];
+        for strategy in [
+            PlacementStrategy::RoundRobin,
+            PlacementStrategy::CapacityGreedy,
+        ] {
+            let placement = strategy.place(&loads, 4, &memory, 1024, 1024).unwrap();
+            assert_eq!(placement.num_gpus(), 4);
+            let replicas = placement.replica_counts(config.num_experts);
+            assert!(
+                replicas.iter().all(|&c| c == 1),
+                "{strategy:?} {replicas:?}"
+            );
+            placement.validate(&memory, 1024, 1024).unwrap();
+        }
+    }
+
+    #[test]
+    fn greedy_balances_skewed_loads_better_than_round_robin() {
+        let (memory, config) = qwen_on_a100();
+        // Zipf-ish load profile: expert 0 is hot.
+        let loads: Vec<usize> = (0..config.num_experts)
+            .map(|e| (4096.0 / ((e + 1) as f64).powf(1.3)) as usize)
+            .collect();
+        let rr = PlacementStrategy::RoundRobin
+            .place(&loads, 8, &memory, 1024, 1024)
+            .unwrap();
+        let greedy = PlacementStrategy::CapacityGreedy
+            .place(&loads, 8, &memory, 1024, 1024)
+            .unwrap();
+        assert!(
+            greedy.imbalance(&loads) < rr.imbalance(&loads),
+            "greedy {} vs rr {}",
+            greedy.imbalance(&loads),
+            rr.imbalance(&loads)
+        );
+    }
+
+    #[test]
+    fn replicating_the_hot_expert_cuts_the_straggler_load() {
+        let (memory, config) = qwen_on_a100();
+        let loads: Vec<usize> = (0..config.num_experts)
+            .map(|e| if e == 0 { 4096 } else { 32 })
+            .collect();
+        let greedy = PlacementStrategy::CapacityGreedy
+            .place(&loads, 8, &memory, 1024, 1024)
+            .unwrap();
+        let replicated = PlacementStrategy::ReplicateHot { hot: 1 }
+            .place(&loads, 8, &memory, 1024, 1024)
+            .unwrap();
+        let max = |p: &ExpertPlacement| {
+            p.effective_gpu_loads(&loads)
+                .into_iter()
+                .fold(0.0f64, f64::max)
+        };
+        // Greedy cannot split expert 0; replication divides it by 8.
+        assert!(max(&replicated) < max(&greedy) * 0.5);
+        assert_eq!(replicated.replica_counts(config.num_experts)[0], 8);
+    }
+
+    #[test]
+    fn placement_errors_when_the_cluster_is_too_small() {
+        let config = MoeModelConfig::qwen2_moe();
+        let memory =
+            ClusterMemoryModel::new(&DeviceSpec::rtx4070_super(), ClusterEngine::Dense, &config);
+        let loads = vec![100usize; config.num_experts];
+        // Dense Qwen2 cannot fit a 12 GiB card with one GPU.
+        assert!(PlacementStrategy::CapacityGreedy
+            .place(&loads, 1, &memory, 1024, 1024)
+            .is_err());
+        assert!(PlacementStrategy::RoundRobin
+            .place(&loads, 1, &memory, 1024, 1024)
+            .is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Cluster-level comparison report: GPU-count sweeps over the weight
+//! representations, rendered as markdown.
+
+use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
+use crate::placement::{ClusterEngine, PlacementStrategy};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::router::TopKRouter;
+
+/// One (device, engine, GPU-count) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterSweepEntry {
+    /// Device name.
+    pub device: String,
+    /// Weight representation.
+    pub engine: ClusterEngine,
+    /// GPUs in the cluster.
+    pub num_gpus: usize,
+    /// `None` when no placement fits the per-GPU memory budgets (the OOM
+    /// cells); otherwise the step outcome.
+    pub outcome: Option<ClusterSweepOutcome>,
+}
+
+/// The measured quantities of one feasible cell.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterSweepOutcome {
+    /// Full-model step time over the batch, milliseconds.
+    pub model_time_ms: f64,
+    /// One layer's all-to-all time, milliseconds.
+    pub all_to_all_ms: f64,
+    /// Collective share of the layer step.
+    pub all_to_all_fraction: f64,
+    /// Batch tokens per second through the MoE stack.
+    pub tokens_per_s: f64,
+    /// Lowest per-GPU utilization in the step.
+    pub min_utilization: f64,
+}
+
+/// A GPU-count sweep of one model over devices × engines.
+#[derive(Debug, Clone)]
+pub struct ClusterReport {
+    /// The model swept.
+    pub model: String,
+    /// Tokens in the step batch.
+    pub tokens: usize,
+    /// All sweep cells, in (device, engine, gpus) order.
+    pub entries: Vec<ClusterSweepEntry>,
+}
+
+impl ClusterReport {
+    /// Sweep `model` over 1/2/4/8 GPUs of the paper's consumer card (RTX
+    /// 4070 Super, PCIe) and the datacenter A100 (NVLink), comparing dense
+    /// vs VENOM vs Samoyeds weights. The routing plan is deterministic in
+    /// `seed`.
+    pub fn gpu_count_sweep(model: &MoeModelConfig, tokens: usize, seed: u64) -> Self {
+        let plan = TopKRouter::for_config(model, seed).route(tokens);
+        let mut entries = Vec::new();
+        for device in [DeviceSpec::rtx4070_super(), DeviceSpec::a100_40g()] {
+            for engine in ClusterEngine::all() {
+                for num_gpus in [1usize, 2, 4, 8] {
+                    let sim = ClusterSimulator::new(
+                        ClusterConfig::new(device.clone(), num_gpus, engine),
+                        model.clone(),
+                    );
+                    let outcome = sim.step(&plan).ok().map(|report| ClusterSweepOutcome {
+                        model_time_ms: report.model_time_ms,
+                        all_to_all_ms: report.all_to_all_ms,
+                        all_to_all_fraction: report.all_to_all_fraction(),
+                        tokens_per_s: report.tokens_per_s(),
+                        min_utilization: report.utilization().into_iter().fold(1.0f64, f64::min),
+                    });
+                    entries.push(ClusterSweepEntry {
+                        device: device.name.clone(),
+                        engine,
+                        num_gpus,
+                        outcome,
+                    });
+                }
+            }
+        }
+        Self {
+            model: model.name.clone(),
+            tokens,
+            entries,
+        }
+    }
+
+    /// Smallest swept GPU count at which (device, engine) fits, if any.
+    pub fn min_feasible_gpus(&self, device: &str, engine: ClusterEngine) -> Option<usize> {
+        self.entries
+            .iter()
+            .filter(|e| e.device == device && e.engine == engine && e.outcome.is_some())
+            .map(|e| e.num_gpus)
+            .min()
+    }
+
+    /// Render the sweep as a markdown table.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mut rows = vec![
+            format!(
+                "Cluster sweep: {} ({} tokens/batch, expert-parallel)",
+                self.model, self.tokens
+            ),
+            "| Device | Engine | GPUs | Model step ms | All-to-all ms/layer | A2A share | tok/s | Min util |"
+                .to_string(),
+            "|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            match e.outcome {
+                None => rows.push(format!(
+                    "| {} | {} | {} | OOM | - | - | - | - |",
+                    e.device,
+                    e.engine.name(),
+                    e.num_gpus
+                )),
+                Some(o) => rows.push(format!(
+                    "| {} | {} | {} | {:.2} | {:.4} | {:.0}% | {:.0} | {:.0}% |",
+                    e.device,
+                    e.engine.name(),
+                    e.num_gpus,
+                    o.model_time_ms,
+                    o.all_to_all_ms,
+                    o.all_to_all_fraction * 100.0,
+                    o.tokens_per_s,
+                    o.min_utilization * 100.0,
+                )),
+            }
+        }
+        rows
+    }
+}
+
+/// Fleet-sizing table: minimum GPUs per (device, engine) for `model`.
+pub fn render_fleet_sizing(model: &MoeModelConfig, tokens: usize) -> Vec<String> {
+    let mut rows = vec![
+        format!("Fleet sizing: minimum GPUs holding {}", model.name),
+        "| Device | Dense | VENOM | Samoyeds |".to_string(),
+        "|---|---|---|---|".to_string(),
+    ];
+    for device in [DeviceSpec::rtx4070_super(), DeviceSpec::a100_40g()] {
+        let min = |engine| match min_gpus_to_fit(&device, engine, model, tokens, 16) {
+            Some(g) => g.to_string(),
+            None => ">16".to_string(),
+        };
+        rows.push(format!(
+            "| {} | {} | {} | {} |",
+            device.name,
+            min(ClusterEngine::Dense),
+            min(ClusterEngine::Venom),
+            min(ClusterEngine::Samoyeds),
+        ));
+    }
+    rows
+}
+
+/// Placement-strategy comparison on a skewed routing plan: straggler step
+/// time per strategy.
+pub fn render_placement_comparison(
+    model: &MoeModelConfig,
+    device: &DeviceSpec,
+    num_gpus: usize,
+    tokens: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<String> {
+    let plan = TopKRouter::for_config(model, seed)
+        .with_skew(skew)
+        .route(tokens);
+    let mut rows = vec![
+        format!(
+            "Placement comparison: {} on {} x {} (skew {:.1}, imbalance {:.2})",
+            model.name,
+            num_gpus,
+            device.name,
+            skew,
+            plan.imbalance()
+        ),
+        "| Strategy | Straggler ms/layer | Mean ms/layer | Layer step ms | GPU imbalance |"
+            .to_string(),
+        "|---|---|---|---|---|".to_string(),
+    ];
+    for strategy in [
+        PlacementStrategy::RoundRobin,
+        PlacementStrategy::CapacityGreedy,
+        PlacementStrategy::ReplicateHot { hot: 2 },
+    ] {
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(device.clone(), num_gpus, ClusterEngine::Samoyeds)
+                .with_strategy(strategy),
+            model.clone(),
+        );
+        match sim.step(&plan) {
+            Ok(report) => rows.push(format!(
+                "| {} | {:.2} | {:.2} | {:.2} | {:.2} |",
+                strategy.name(),
+                report.straggler_ms(),
+                report.mean_compute_ms(),
+                report.layer_time_ms,
+                report.placement.imbalance(&plan.expert_loads()),
+            )),
+            Err(_) => rows.push(format!("| {} | OOM | - | - | - |", strategy.name())),
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_reproduces_the_fleet_sizing_story() {
+        let report = ClusterReport::gpu_count_sweep(&MoeModelConfig::qwen2_moe(), 1024, 42);
+        assert_eq!(report.entries.len(), 2 * 3 * 4);
+        let consumer = &DeviceSpec::rtx4070_super().name;
+        // Samoyeds holds the model on a single consumer card; dense needs a
+        // strictly larger cluster.
+        let samoyeds = report
+            .min_feasible_gpus(consumer, ClusterEngine::Samoyeds)
+            .unwrap();
+        let dense = report
+            .min_feasible_gpus(consumer, ClusterEngine::Dense)
+            .unwrap();
+        assert_eq!(samoyeds, 1);
+        assert!(dense > samoyeds, "dense {dense} vs samoyeds {samoyeds}");
+        // Every feasible multi-GPU cell has a nonzero all-to-all component.
+        for e in &report.entries {
+            if let Some(o) = e.outcome {
+                if e.num_gpus > 1 {
+                    assert!(o.all_to_all_ms > 0.0, "{} {:?}", e.device, e.engine);
+                }
+                assert!(o.tokens_per_s > 0.0);
+            }
+        }
+        let rows = report.render_markdown();
+        assert!(rows.iter().any(|r| r.contains("OOM")));
+        assert!(rows.len() >= 3 + 24);
+    }
+
+    #[test]
+    fn fleet_sizing_table_shows_the_compression_lever() {
+        let rows = render_fleet_sizing(&MoeModelConfig::qwen2_moe(), 1024);
+        assert_eq!(rows.len(), 5);
+        let consumer_row = &rows[3];
+        // Dense needs more GPUs than Samoyeds on the 12 GiB card.
+        assert!(consumer_row.contains("4070"), "{consumer_row}");
+    }
+
+    #[test]
+    fn placement_comparison_prefers_load_aware_strategies() {
+        let rows = render_placement_comparison(
+            &MoeModelConfig::qwen2_moe(),
+            &DeviceSpec::a100_40g(),
+            8,
+            2048,
+            1.5,
+            9,
+        );
+        assert_eq!(rows.len(), 6);
+        let straggler = |row: &String| {
+            row.split('|')
+                .nth(2)
+                .unwrap()
+                .trim()
+                .parse::<f64>()
+                .unwrap()
+        };
+        let rr = straggler(&rows[3]);
+        let greedy = straggler(&rows[4]);
+        assert!(greedy < rr, "greedy {greedy} vs round-robin {rr}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based invariants of the distributed layer: token conservation
+//! across all-to-all sharding and memory-budget safety of every placement.
+
+use proptest::prelude::*;
+use samoyeds_dist::{
+    ClusterConfig, ClusterEngine, ClusterMemoryModel, ClusterSimulator, PlacementStrategy,
+};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::router::TopKRouter;
+
+fn arb_strategy() -> impl Strategy<Value = PlacementStrategy> {
+    (0usize..3, 1usize..4).prop_map(|(which, hot)| match which {
+        0 => PlacementStrategy::RoundRobin,
+        1 => PlacementStrategy::CapacityGreedy,
+        _ => PlacementStrategy::ReplicateHot { hot },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sharding a routing plan across any assignment (including replicated
+    /// experts) never creates or drops token-expert assignments.
+    #[test]
+    fn sharding_conserves_tokens(
+        num_experts in 2usize..24,
+        top_k_raw in 1usize..6,
+        tokens in 1usize..400,
+        gpus in 1usize..9,
+        replicate_first in any::<bool>(),
+        skew in 0.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let top_k = top_k_raw.min(num_experts);
+        let plan = TopKRouter::new(num_experts, top_k, seed)
+            .unwrap()
+            .with_skew(skew)
+            .route(tokens);
+        // Synthetic assignment: round-robin, optionally replicating expert 0
+        // on every GPU.
+        let mut assignments: Vec<Vec<usize>> = vec![Vec::new(); gpus];
+        for e in 0..num_experts {
+            assignments[e % gpus].push(e);
+        }
+        if replicate_first {
+            for (g, owned) in assignments.iter_mut().enumerate() {
+                if g != 0 {
+                    owned.push(0);
+                }
+            }
+        }
+        let shards = plan.shard(&assignments).unwrap();
+        let sharded: usize = shards.iter().map(|s| s.total_assignments()).sum();
+        prop_assert_eq!(sharded, plan.total_assignments());
+        prop_assert_eq!(plan.total_assignments(), tokens * top_k);
+        // Every shard's token lists stay strictly ascending (valid SEL
+        // arrays over the global batch).
+        for shard in &shards {
+            for et in &shard.expert_tokens {
+                prop_assert!(et.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+    }
+
+    /// The full cluster step conserves assignments end to end, through
+    /// placement, sharding and the all-to-all accounting.
+    #[test]
+    fn cluster_step_conserves_tokens(
+        tokens in 16usize..512,
+        gpus in 1usize..9,
+        strategy in arb_strategy(),
+        skew in 0.0f64..1.6,
+        seed in any::<u64>(),
+    ) {
+        let model = MoeModelConfig::qwen2_moe();
+        let plan = TopKRouter::for_config(&model, seed).with_skew(skew).route(tokens);
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), gpus, ClusterEngine::Samoyeds)
+                .with_strategy(strategy),
+            model,
+        );
+        // Placement can legitimately fail (e.g. replicating hot experts on
+        // a cluster with no headroom); when it succeeds, conservation and
+        // the step-time structure must hold.
+        if let Ok(report) = sim.step(&plan) {
+            prop_assert_eq!(report.sharded_assignments, plan.total_assignments());
+            prop_assert!(report.layer_time_ms >= report.straggler_ms());
+            if gpus == 1 {
+                prop_assert_eq!(report.all_to_all_ms, 0.0);
+            }
+            for u in report.utilization() {
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    /// Whenever a placement is produced, no GPU exceeds its memory budget —
+    /// weights, KV share and activation workspace included.
+    #[test]
+    fn placement_respects_memory_budgets(
+        gpus in 1usize..9,
+        strategy in arb_strategy(),
+        resident_tokens in 0usize..8192,
+        step_tokens in 1usize..4096,
+        engine_idx in 0usize..3,
+        device_idx in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let engine = ClusterEngine::all()[engine_idx];
+        let device = if device_idx == 0 {
+            DeviceSpec::rtx4070_super()
+        } else {
+            DeviceSpec::a100_40g()
+        };
+        let model = MoeModelConfig::qwen2_moe();
+        let memory = ClusterMemoryModel::new(&device, engine, &model);
+        let loads = TopKRouter::for_config(&model, seed).route(256).expert_loads();
+        match strategy.place(&loads, gpus, &memory, resident_tokens, step_tokens) {
+            Ok(placement) => {
+                prop_assert_eq!(placement.num_gpus(), gpus);
+                // Every routed expert is owned by at least one GPU.
+                let replicas = placement.replica_counts(model.num_experts);
+                prop_assert!(replicas.iter().all(|&c| c >= 1));
+                // Direct budget check, not just validate()'s word.
+                for owned in placement.assignments() {
+                    let bytes = memory.gpu_bytes(owned.len(), resident_tokens, step_tokens);
+                    prop_assert!(
+                        bytes <= memory.budget_bytes(),
+                        "GPU with {} experts uses {:.2} of {:.2} GiB",
+                        owned.len(),
+                        bytes / (1u64 << 30) as f64,
+                        memory.budget_bytes() / (1u64 << 30) as f64,
+                    );
+                }
+                prop_assert!(placement.validate(&memory, resident_tokens, step_tokens).is_ok());
+            }
+            Err(_) => {
+                // An error must mean the dense-est GPU really cannot fit:
+                // the per-GPU expert capacity is short of a balanced share
+                // (or replication inflated the requirement).
+                let capacity = memory.max_experts_per_gpu(resident_tokens, step_tokens);
+                let needed = model.num_experts.div_ceil(gpus);
+                prop_assert!(
+                    capacity < needed + 3,
+                    "placement failed with capacity {capacity} and balanced need {needed}"
+                );
+            }
+        }
+    }
+}

@@ -29,6 +29,56 @@ pub enum GpuArch {
     Cdna3,
 }
 
+/// The interconnect a GPU model ships with in its usual deployment form
+/// factor. Consumer cards talk to their peers over PCIe through the host,
+/// datacenter parts have dedicated point-to-point fabrics; the distinction
+/// drives the all-to-all dispatch cost of expert-parallel MoE serving
+/// (`samoyeds-dist`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Interconnect {
+    /// PCIe 4.0 x16 through the host (consumer cards, no P2P fabric).
+    PcieGen4,
+    /// NVLink 3 (A100: 12 links, 600 GB/s aggregate bidirectional).
+    Nvlink3,
+    /// NVLink 4 (H100: 18 links, 900 GB/s aggregate bidirectional).
+    Nvlink4,
+    /// AMD Infinity Fabric (MI300-class accelerator mesh).
+    InfinityFabric,
+}
+
+impl Interconnect {
+    /// Per-GPU unidirectional peer bandwidth in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        match self {
+            Interconnect::PcieGen4 => 32.0,
+            Interconnect::Nvlink3 => 300.0,
+            Interconnect::Nvlink4 => 450.0,
+            Interconnect::InfinityFabric => 448.0,
+        }
+    }
+
+    /// One-way message latency in microseconds (per collective phase, not
+    /// per byte).
+    pub fn latency_us(&self) -> f64 {
+        match self {
+            Interconnect::PcieGen4 => 5.0,
+            Interconnect::Nvlink3 => 1.9,
+            Interconnect::Nvlink4 => 1.8,
+            Interconnect::InfinityFabric => 2.0,
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Interconnect::PcieGen4 => "PCIe 4.0 x16",
+            Interconnect::Nvlink3 => "NVLink 3",
+            Interconnect::Nvlink4 => "NVLink 4",
+            Interconnect::InfinityFabric => "Infinity Fabric",
+        }
+    }
+}
+
 /// Static description of one GPU model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DeviceSpec {
@@ -69,6 +119,8 @@ pub struct DeviceSpec {
     pub has_async_copy: bool,
     /// True if the device supports collective matrix loads (`ldmatrix`).
     pub has_ldmatrix: bool,
+    /// Peer-to-peer interconnect of the usual deployment form factor.
+    pub interconnect: Interconnect,
 }
 
 impl DeviceSpec {
@@ -129,6 +181,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: true,
             has_ldmatrix: true,
+            interconnect: Interconnect::PcieGen4,
         }
     }
 
@@ -152,6 +205,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: true,
             has_ldmatrix: true,
+            interconnect: Interconnect::PcieGen4,
         }
     }
 
@@ -175,6 +229,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: true,
             has_ldmatrix: true,
+            interconnect: Interconnect::PcieGen4,
         }
     }
 
@@ -198,6 +253,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: true,
             has_ldmatrix: true,
+            interconnect: Interconnect::Nvlink3,
         }
     }
 
@@ -221,6 +277,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: true,
             has_ldmatrix: true,
+            interconnect: Interconnect::Nvlink4,
         }
     }
 
@@ -245,6 +302,7 @@ impl DeviceSpec {
             has_sparse_alu: false,
             has_async_copy: false,
             has_ldmatrix: false,
+            interconnect: Interconnect::PcieGen4,
         }
     }
 
@@ -269,6 +327,7 @@ impl DeviceSpec {
             has_sparse_alu: true,
             has_async_copy: false,
             has_ldmatrix: false,
+            interconnect: Interconnect::InfinityFabric,
         }
     }
 
@@ -329,6 +388,33 @@ mod tests {
             assert!(d.shared_bandwidth_gbps() > d.mem_bandwidth_gbps);
             assert!(d.l2_bandwidth_gbps() > d.mem_bandwidth_gbps);
             assert!(d.ridge_point_dense() > 0.0);
+        }
+    }
+
+    #[test]
+    fn interconnect_presets_separate_fabric_from_pcie() {
+        // Consumer cards cross PCIe; datacenter parts have a fabric that is
+        // an order of magnitude faster and lower latency.
+        assert_eq!(
+            DeviceSpec::rtx4070_super().interconnect,
+            Interconnect::PcieGen4
+        );
+        assert_eq!(DeviceSpec::rtx4090().interconnect, Interconnect::PcieGen4);
+        assert_eq!(DeviceSpec::a100_40g().interconnect, Interconnect::Nvlink3);
+        assert_eq!(DeviceSpec::h100().interconnect, Interconnect::Nvlink4);
+        let pcie = Interconnect::PcieGen4;
+        let nvlink = Interconnect::Nvlink3;
+        assert!(nvlink.bandwidth_gbps() > 5.0 * pcie.bandwidth_gbps());
+        assert!(nvlink.latency_us() < pcie.latency_us());
+        for link in [
+            Interconnect::PcieGen4,
+            Interconnect::Nvlink3,
+            Interconnect::Nvlink4,
+            Interconnect::InfinityFabric,
+        ] {
+            assert!(link.bandwidth_gbps() > 0.0);
+            assert!(link.latency_us() > 0.0);
+            assert!(!link.name().is_empty());
         }
     }
 

@@ -30,6 +30,6 @@ pub mod occupancy;
 pub mod stats;
 
 pub use cost::{CostModel, KernelProfile};
-pub use device::{DeviceSpec, GpuArch};
+pub use device::{DeviceSpec, GpuArch, Interconnect};
 pub use occupancy::{LaunchConfig, Occupancy};
 pub use stats::KernelStats;

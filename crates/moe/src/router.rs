@@ -79,6 +79,80 @@ impl RoutingPlan {
     pub fn total_assignments(&self) -> usize {
         self.expert_tokens.iter().map(|t| t.len()).sum()
     }
+
+    /// Per-expert token counts (the load profile placement strategies use).
+    pub fn expert_loads(&self) -> Vec<usize> {
+        self.expert_tokens.iter().map(|t| t.len()).collect()
+    }
+
+    /// Shard the plan across expert-parallel ranks.
+    ///
+    /// `assignments[g]` lists the global expert ids owned by rank `g`; the
+    /// returned plan for rank `g` contains exactly those experts, renumbered
+    /// in the given order, with `num_tokens`/`top_k` unchanged (selection
+    /// arrays still index the global token batch). An expert may appear on
+    /// several ranks (a replicated hot expert): its token list is then split
+    /// round-robin across the replicas, so token assignments are conserved —
+    /// the shards' `total_assignments` always sum to the plan's.
+    ///
+    /// Errors if an expert id is out of range or a non-idle expert is left
+    /// unplaced (its tokens would be dropped).
+    pub fn shard(&self, assignments: &[Vec<usize>]) -> Result<Vec<RoutingPlan>> {
+        let mut replicas = vec![0usize; self.num_experts()];
+        for owned in assignments {
+            for &e in owned {
+                if e >= self.num_experts() {
+                    return Err(SparseError::config(format!(
+                        "expert {e} out of range (plan has {})",
+                        self.num_experts()
+                    )));
+                }
+                replicas[e] += 1;
+            }
+        }
+        for (e, &count) in replicas.iter().enumerate() {
+            if count == 0 && !self.expert_tokens[e].is_empty() {
+                return Err(SparseError::config(format!(
+                    "expert {e} has {} routed tokens but no rank owns it",
+                    self.expert_tokens[e].len()
+                )));
+            }
+        }
+        let mut next_replica = vec![0usize; self.num_experts()];
+        let mut shards = Vec::with_capacity(assignments.len());
+        for owned in assignments {
+            let mut expert_tokens = Vec::with_capacity(owned.len());
+            let mut expert_weights = Vec::with_capacity(owned.len());
+            for &e in owned {
+                let replica = next_replica[e];
+                next_replica[e] += 1;
+                let stride = replicas[e];
+                // The round-robin slice keeps token indices ascending, as
+                // the SelectionArray constructor requires.
+                let tokens: Vec<u32> = self.expert_tokens[e]
+                    .iter()
+                    .skip(replica)
+                    .step_by(stride)
+                    .copied()
+                    .collect();
+                let weights: Vec<f32> = self.expert_weights[e]
+                    .iter()
+                    .skip(replica)
+                    .step_by(stride)
+                    .copied()
+                    .collect();
+                expert_tokens.push(tokens);
+                expert_weights.push(weights);
+            }
+            shards.push(RoutingPlan {
+                num_tokens: self.num_tokens,
+                top_k: self.top_k,
+                expert_tokens,
+                expert_weights,
+            });
+        }
+        Ok(shards)
+    }
 }
 
 /// A deterministic top-k router.
@@ -87,6 +161,7 @@ pub struct TopKRouter {
     num_experts: usize,
     top_k: usize,
     seed: u64,
+    skew: f64,
 }
 
 impl TopKRouter {
@@ -96,6 +171,7 @@ impl TopKRouter {
             num_experts: config.num_experts,
             top_k: config.top_k,
             seed,
+            skew: 0.0,
         }
     }
 
@@ -110,19 +186,73 @@ impl TopKRouter {
             num_experts,
             top_k,
             seed,
+            skew: 0.0,
         })
     }
 
+    /// Skew the expert popularity: expert `e` is drawn with probability
+    /// proportional to `1 / (e + 1)^skew` (Zipf-like). `skew = 0` is the
+    /// uniform, balanced-routing regime of the paper's experiments; larger
+    /// values concentrate traffic on a few hot experts, the imbalanced
+    /// regime expert-parallel placement has to cope with.
+    pub fn with_skew(mut self, skew: f64) -> Self {
+        assert!(skew >= 0.0 && skew.is_finite(), "skew must be >= 0");
+        self.skew = skew;
+        self
+    }
+
     /// Route `num_tokens` tokens: each token picks `top_k` distinct experts
-    /// uniformly at random and receives softmax-normalised router weights.
+    /// (uniformly, or Zipf-weighted under [`Self::with_skew`]) and receives
+    /// softmax-normalised router weights.
     pub fn route(&self, num_tokens: usize) -> RoutingPlan {
         let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
         let mut expert_tokens: Vec<Vec<u32>> = vec![Vec::new(); self.num_experts];
         let mut expert_weights: Vec<Vec<f32>> = vec![Vec::new(); self.num_experts];
         let mut experts: Vec<usize> = (0..self.num_experts).collect();
+        // Clamp to the smallest positive float: extreme skews underflow the
+        // Zipf tail to 0.0, which would leave the sampler with an empty
+        // distribution once the hot experts are drawn.
+        let popularity: Vec<f64> = (0..self.num_experts)
+            .map(|e| (1.0 / ((e + 1) as f64).powf(self.skew)).max(f64::MIN_POSITIVE))
+            .collect();
+        let mut chosen_buf: Vec<usize> = Vec::with_capacity(self.top_k);
+        let mut remaining = popularity.clone();
         for token in 0..num_tokens {
-            experts.shuffle(&mut rng);
-            let chosen = &experts[..self.top_k];
+            let chosen: &[usize] = if self.skew == 0.0 {
+                experts.shuffle(&mut rng);
+                &experts[..self.top_k]
+            } else {
+                // Weighted sampling without replacement over the popularity
+                // distribution.
+                chosen_buf.clear();
+                remaining.copy_from_slice(&popularity);
+                for _ in 0..self.top_k {
+                    let total: f64 = remaining.iter().sum();
+                    let mut draw = rng.gen_range(0.0..total);
+                    // Fallback to the last still-available expert: rounding
+                    // in the running subtraction can leave `draw` above
+                    // every probability, and a fixed fallback could pick an
+                    // already-chosen expert (duplicating a token in its
+                    // list).
+                    let mut pick = remaining
+                        .iter()
+                        .rposition(|&p| p > 0.0)
+                        .expect("top_k <= num_experts leaves an expert available");
+                    for (e, &p) in remaining.iter().enumerate() {
+                        if p <= 0.0 {
+                            continue;
+                        }
+                        if draw < p {
+                            pick = e;
+                            break;
+                        }
+                        draw -= p;
+                    }
+                    remaining[pick] = 0.0;
+                    chosen_buf.push(pick);
+                }
+                &chosen_buf
+            };
             // Softmax over random logits for the chosen experts.
             let logits: Vec<f32> = chosen.iter().map(|_| rng.gen_range(-1.0..1.0)).collect();
             let max = logits.iter().cloned().fold(f32::MIN, f32::max);
@@ -244,6 +374,107 @@ mod tests {
         // A different seed changes at least the assignment pattern.
         let c = TopKRouter::for_config(&config, 100).route(333);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sharding_conserves_assignments_and_renumbers_experts() {
+        let plan = TopKRouter::new(8, 2, 21).unwrap().route(256);
+        // 8 experts over 4 ranks, contiguous blocks of two.
+        let assignments: Vec<Vec<usize>> = (0..4).map(|g| vec![2 * g, 2 * g + 1]).collect();
+        let shards = plan.shard(&assignments).unwrap();
+        assert_eq!(shards.len(), 4);
+        let total: usize = shards.iter().map(|s| s.total_assignments()).sum();
+        assert_eq!(total, plan.total_assignments());
+        for (g, shard) in shards.iter().enumerate() {
+            assert_eq!(shard.num_experts(), 2);
+            assert_eq!(shard.num_tokens, plan.num_tokens);
+            assert_eq!(shard.top_k, plan.top_k);
+            for local in 0..2 {
+                assert_eq!(
+                    shard.expert_tokens[local],
+                    plan.expert_tokens[2 * g + local]
+                );
+                // Selection arrays still index the global batch.
+                let sel = shard.selection(local).unwrap();
+                assert_eq!(sel.total(), plan.num_tokens);
+            }
+        }
+    }
+
+    #[test]
+    fn sharding_splits_replicated_experts_without_losing_tokens() {
+        let plan = TopKRouter::new(4, 2, 5).unwrap().route(101);
+        // Expert 0 replicated on both ranks; the rest split.
+        let assignments = vec![vec![0, 1], vec![0, 2, 3]];
+        let shards = plan.shard(&assignments).unwrap();
+        let replica_a = &shards[0].expert_tokens[0];
+        let replica_b = &shards[1].expert_tokens[0];
+        assert_eq!(replica_a.len() + replica_b.len(), plan.tokens_for(0));
+        // Replicas are disjoint, ascending, and merge back to the original.
+        let mut merged: Vec<u32> = replica_a.iter().chain(replica_b.iter()).copied().collect();
+        merged.sort_unstable();
+        assert_eq!(&merged, &plan.expert_tokens[0]);
+        assert!(replica_a.windows(2).all(|w| w[0] < w[1]));
+        assert!(replica_b.windows(2).all(|w| w[0] < w[1]));
+        // The replicas' loads differ by at most one token (round-robin).
+        assert!(replica_a.len().abs_diff(replica_b.len()) <= 1);
+        let total: usize = shards.iter().map(|s| s.total_assignments()).sum();
+        assert_eq!(total, plan.total_assignments());
+    }
+
+    #[test]
+    fn sharding_rejects_bad_assignments() {
+        let plan = TopKRouter::new(4, 2, 5).unwrap().route(64);
+        // Out-of-range expert id.
+        assert!(plan.shard(&[vec![0, 1], vec![2, 9]]).is_err());
+        // Expert 3 has routed tokens but no owner.
+        assert!(plan.shard(&[vec![0, 1], vec![2]]).is_err());
+    }
+
+    #[test]
+    fn skewed_routing_is_imbalanced_and_still_conserves_tokens() {
+        let uniform = TopKRouter::new(16, 2, 11).unwrap().route(2048);
+        let skewed = TopKRouter::new(16, 2, 11)
+            .unwrap()
+            .with_skew(1.2)
+            .route(2048);
+        assert_eq!(skewed.total_assignments(), 2048 * 2);
+        assert!(
+            skewed.imbalance() > uniform.imbalance() * 1.5,
+            "skewed {} vs uniform {}",
+            skewed.imbalance(),
+            uniform.imbalance()
+        );
+        // Low-index experts are the hot ones under the Zipf popularity.
+        assert!(skewed.tokens_for(0) > skewed.tokens_for(15) * 2);
+        // Still deterministic and valid: ascending per-expert token lists.
+        assert_eq!(
+            skewed,
+            TopKRouter::new(16, 2, 11)
+                .unwrap()
+                .with_skew(1.2)
+                .route(2048)
+        );
+        for e in 0..skewed.num_experts() {
+            assert!(skewed.expert_tokens[e].windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn extreme_skew_does_not_panic_and_stays_valid() {
+        // Skews large enough to underflow the Zipf tail to 0.0 must still
+        // sample top_k distinct experts per token.
+        let plan = TopKRouter::new(16, 3, 0)
+            .unwrap()
+            .with_skew(1100.0)
+            .route(64);
+        assert_eq!(plan.total_assignments(), 64 * 3);
+        for e in 0..plan.num_experts() {
+            assert!(plan.expert_tokens[e].windows(2).all(|w| w[0] < w[1]));
+        }
+        // The hottest expert absorbs every token; once the un-underflowed
+        // head is exhausted the clamped tail is sampled uniformly.
+        assert_eq!(plan.tokens_for(0), 64);
     }
 
     #[test]

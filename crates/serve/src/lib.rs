@@ -15,9 +15,12 @@
 //!   activation workspace) per execution engine;
 //! * [`batch`] — step-batch formation (decode-first, chunked prefill);
 //! * [`scheduler`] — the continuous-batching scheduler and step cost model;
-//! * [`metrics`] — percentile latency summaries and throughput;
+//! * [`metrics`] — percentile latency summaries (request latency, TTFT,
+//!   per-output-token latency) and throughput;
 //! * [`report`] — per-engine comparison on a shared trace, rendered as
-//!   markdown.
+//!   markdown;
+//! * [`dispatch`] — multi-replica request dispatch and fleet-level metric
+//!   aggregation (the hook `samoyeds-dist` builds its cluster layer on).
 //!
 //! ```
 //! use samoyeds_gpu_sim::DeviceSpec;
@@ -35,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod dispatch;
 pub mod memory;
 pub mod metrics;
 pub mod report;
@@ -43,6 +47,7 @@ pub mod scheduler;
 pub mod trace;
 
 pub use batch::BatchLimits;
+pub use dispatch::{dispatch_trace, DispatchPolicy, FleetMetrics, ReplicaFleet};
 pub use memory::MemoryModel;
 pub use metrics::{latency_summary, LatencySummary, ServingMetrics};
 pub use report::{compare_engines, render_markdown};

@@ -32,13 +32,22 @@ impl LatencySummary {
     }
 }
 
-/// Nearest-rank percentile of `sorted` (ascending), `q` in `[0, 1]`.
+/// Linear-interpolated percentile of `sorted` (ascending), `q` in `[0, 1]`
+/// (the "exclusive of extrapolation" convention of numpy's default: the
+/// sample at fractional rank `q * (len - 1)` with linear interpolation
+/// between the neighbouring order statistics).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+    match sorted.len() {
+        0 => 0.0,
+        1 => sorted[0],
+        n => {
+            let pos = q.clamp(0.0, 1.0) * (n - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = (lo + 1).min(n - 1);
+            let frac = pos - lo as f64;
+            sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+        }
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
 }
 
 /// Summarise a latency sample set.
@@ -75,6 +84,9 @@ pub struct ServingMetrics {
     pub request_latency: LatencySummary,
     /// Time-to-first-token distribution.
     pub ttft: LatencySummary,
+    /// Per-output-token (inter-token decode) latency distribution, over
+    /// requests that decode at least two tokens.
+    pub tpot: LatencySummary,
     /// Total simulated time.
     pub makespan_ms: f64,
     /// Peak memory in use.
@@ -92,6 +104,11 @@ impl ServingMetrics {
         const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
         let latencies: Vec<f64> = result.completed.iter().map(|c| c.latency_ms()).collect();
         let ttfts: Vec<f64> = result.completed.iter().map(|c| c.ttft_ms()).collect();
+        let tpots: Vec<f64> = result
+            .completed
+            .iter()
+            .filter_map(|c| c.tpot_ms())
+            .collect();
         let makespan_s = result.makespan_ms / 1e3;
         let per_s = |tokens: usize| {
             if makespan_s > 0.0 {
@@ -108,6 +125,7 @@ impl ServingMetrics {
             processed_tokens_per_s: per_s(result.processed_tokens()),
             request_latency: latency_summary(&latencies),
             ttft: latency_summary(&ttfts),
+            tpot: latency_summary(&tpots),
             makespan_ms: result.makespan_ms,
             peak_memory_gib: result.peak_memory_bytes / GIB,
             budget_gib: result.budget_bytes / GIB,
@@ -121,23 +139,33 @@ mod tests {
     use super::*;
 
     #[test]
-    fn percentiles_use_nearest_rank() {
+    fn percentiles_are_linearly_interpolated() {
+        // Known vector 1..=100: with the fractional-rank q*(n-1) convention,
+        // p50 falls exactly between the 50th and 51st order statistics, and
+        // p95/p99 interpolate 5%/1% into their bracketing samples.
         let samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
         let s = latency_summary(&samples);
-        assert_eq!(s.p50_ms, 50.0);
-        assert_eq!(s.p95_ms, 95.0);
-        assert_eq!(s.p99_ms, 99.0);
+        assert!((s.p50_ms - 50.5).abs() < 1e-12, "p50 {}", s.p50_ms);
+        assert!((s.p95_ms - 95.05).abs() < 1e-12, "p95 {}", s.p95_ms);
+        assert!((s.p99_ms - 99.01).abs() < 1e-12, "p99 {}", s.p99_ms);
         assert_eq!(s.max_ms, 100.0);
         assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        // Interpolation between two samples, not nearest rank.
+        let two = latency_summary(&[10.0, 20.0]);
+        assert!((two.p50_ms - 15.0).abs() < 1e-12);
+        assert!((two.p95_ms - 19.5).abs() < 1e-12);
     }
 
     #[test]
     fn empty_and_singleton_samples() {
         assert_eq!(latency_summary(&[]), LatencySummary::empty());
+        // A single sample is every percentile.
         let s = latency_summary(&[7.0]);
         assert_eq!(s.p50_ms, 7.0);
+        assert_eq!(s.p95_ms, 7.0);
         assert_eq!(s.p99_ms, 7.0);
         assert_eq!(s.max_ms, 7.0);
+        assert_eq!(s.mean_ms, 7.0);
     }
 
     #[test]

@@ -30,20 +30,20 @@ pub fn compare_engines(
 pub fn render_markdown(model: &str, device: &str, metrics: &[ServingMetrics]) -> Vec<String> {
     let mut rows = vec![
         format!("Serving report: {model} on {device}"),
-        "| Engine | Completed | tok/s (output) | tok/s (total) | p50 ms | p95 ms | p99 ms | TTFT p50 ms | Peak GiB |"
+        "| Engine | Completed | tok/s (output) | tok/s (total) | p50 ms | p95 ms | p99 ms | TTFT p50 ms | TTFT p95 ms | TPOT p50 ms | TPOT p95 ms | Peak GiB |"
             .to_string(),
-        "|---|---|---|---|---|---|---|---|---|".to_string(),
+        "|---|---|---|---|---|---|---|---|---|---|---|---|".to_string(),
     ];
     for m in metrics {
         if !m.servable {
             rows.push(format!(
-                "| {} | NS/OOM | - | - | - | - | - | - | - |",
+                "| {} | NS/OOM | - | - | - | - | - | - | - | - | - | - |",
                 m.engine.name()
             ));
             continue;
         }
         rows.push(format!(
-            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.1} |",
+            "| {} | {} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.0} | {:.1} | {:.1} | {:.1} |",
             m.engine.name(),
             m.completed,
             m.output_tokens_per_s,
@@ -52,6 +52,9 @@ pub fn render_markdown(model: &str, device: &str, metrics: &[ServingMetrics]) ->
             m.request_latency.p95_ms,
             m.request_latency.p99_ms,
             m.ttft.p50_ms,
+            m.ttft.p95_ms,
+            m.tpot.p50_ms,
+            m.tpot.p95_ms,
             m.peak_memory_gib,
         ));
     }

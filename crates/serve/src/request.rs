@@ -111,6 +111,17 @@ impl CompletedRequest {
     pub fn queueing_ms(&self) -> f64 {
         self.admitted_ms - self.request.arrival_ms
     }
+
+    /// Mean per-output-token (inter-token) latency of the decode phase:
+    /// the time from the first to the last output token, divided by the
+    /// number of decode gaps. `None` for single-token outputs, which have
+    /// no inter-token gap.
+    pub fn tpot_ms(&self) -> Option<f64> {
+        if self.request.output_len < 2 {
+            return None;
+        }
+        Some((self.finished_ms - self.first_token_ms) / (self.request.output_len - 1) as f64)
+    }
 }
 
 #[cfg(test)]
@@ -150,5 +161,17 @@ mod tests {
         assert_eq!(c.latency_ms(), 90.0);
         assert_eq!(c.ttft_ms(), 30.0);
         assert_eq!(c.queueing_ms(), 5.0);
+        // 3 output tokens -> 2 decode gaps over 60 ms.
+        assert_eq!(c.tpot_ms(), Some(30.0));
+        let single = CompletedRequest {
+            request: Request {
+                output_len: 1,
+                ..request()
+            },
+            admitted_ms: 15.0,
+            first_token_ms: 40.0,
+            finished_ms: 40.0,
+        };
+        assert_eq!(single.tpot_ms(), None);
     }
 }

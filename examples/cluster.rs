@@ -1,0 +1,50 @@
+//! Multi-GPU expert-parallel cluster walkthrough: shard one MoE model
+//! across 1/2/4/8 GPUs under three weight representations, price the
+//! all-to-all dispatch on the device's native interconnect, and compare
+//! placement strategies on an imbalanced routing plan.
+//!
+//! Run with `cargo run --release --example cluster [model]` where `model`
+//! is one of `qwen2` (default), `deepseek`, `mixtral`.
+
+use samoyeds::dist::{min_gpus_to_fit, render_placement_comparison, ClusterEngine, ClusterReport};
+use samoyeds::gpu_sim::DeviceSpec;
+use samoyeds::moe::config::MoeModelConfig;
+
+fn main() {
+    let model = match std::env::args().nth(1).as_deref() {
+        Some("deepseek") => MoeModelConfig::deepseek_moe(),
+        Some("mixtral") => MoeModelConfig::mixtral_8x7b(),
+        _ => MoeModelConfig::qwen2_moe(),
+    };
+    let tokens = 4096usize;
+
+    // GPU-count sweep: dense vs VENOM vs Samoyeds on the consumer card
+    // (PCIe all-to-all) and the A100 (NVLink all-to-all).
+    let report = ClusterReport::gpu_count_sweep(&model, tokens, 42);
+    for line in report.render_markdown() {
+        println!("{line}");
+    }
+
+    // Fleet sizing: the compression lever in GPUs.
+    let consumer = DeviceSpec::rtx4070_super();
+    let dense = min_gpus_to_fit(&consumer, ClusterEngine::Dense, &model, tokens, 16);
+    let samoyeds = min_gpus_to_fit(&consumer, ClusterEngine::Samoyeds, &model, tokens, 16);
+    match (dense, samoyeds) {
+        (Some(d), Some(s)) => println!(
+            "\n-> fleet sizing on {}: dense weights need {d} GPU(s), Samoyeds {s} — \
+             {:.1}x fewer GPUs for the same model\n",
+            consumer.name,
+            d as f64 / s as f64
+        ),
+        _ => println!(
+            "\n-> fleet sizing on {}: dense {dense:?} vs Samoyeds {samoyeds:?} GPUs\n",
+            consumer.name
+        ),
+    }
+
+    // Placement under skewed routing: capacity-aware beats round-robin on
+    // the straggler that paces every step.
+    for line in render_placement_comparison(&model, &DeviceSpec::a100_40g(), 8, tokens, 1.5, 9) {
+        println!("{line}");
+    }
+}

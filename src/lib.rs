@@ -10,6 +10,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use samoyeds_dist as dist;
 pub use samoyeds_gpu_sim as gpu_sim;
 pub use samoyeds_kernels as kernels;
 pub use samoyeds_moe as moe;
