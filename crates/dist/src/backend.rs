@@ -1,0 +1,341 @@
+//! The cluster execution backend: expert-parallel serving behind the
+//! `samoyeds-serve` [`ExecutionBackend`] trait.
+//!
+//! This is the piece that turns the PR-2 cluster simulator from a
+//! standalone step-pricing tool into a *serving* substrate: the
+//! continuous-batching scheduler drives a whole expert-parallel pod exactly
+//! the way it drives one GPU. Two things change relative to
+//! [`SingleGpuBackend`](samoyeds_serve::SingleGpuBackend):
+//!
+//! * **Step cost** — each step routes its batch, shards the plan across the
+//!   pod, and pays the *straggler* GPU's MoE compute plus the α-β
+//!   dispatch/combine collectives per layer. Attention and the
+//!   norm/router auxiliaries are data-parallel across the pod (each rank
+//!   hosts its share of the batch), so they divide by the GPU count.
+//! * **Admission** — the budget is the straggler GPU under a balanced
+//!   placement: `ceil(E/g)` routed experts (plus any replicated hot
+//!   experts), a `ceil/g` share of the KV cache and of the step's
+//!   activation workspace, against *per-GPU* usable memory. A model whose
+//!   dense weights overflow every rank rejects the whole trace; the
+//!   compressed formats admit it — the fleet-sizing lever, now visible as
+//!   served-vs-rejected traces rather than a static table.
+
+use crate::cluster::{ClusterConfig, ClusterSimulator};
+use crate::placement::{ClusterMemoryModel, PlacementStrategy};
+use samoyeds_moe::attention::AttentionKind;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+use samoyeds_moe::router::TopKRouter;
+use samoyeds_serve::backend::{
+    attention_step_ms, auxiliary_step_ms, ExecutionBackend, MemoryBudget, StepCost, StepWorkload,
+};
+use samoyeds_serve::SchedulerConfig;
+
+/// Straggler-GPU admission budget of an expert-parallel pod.
+///
+/// Implements the serve-side [`MemoryBudget`] surface over the per-GPU
+/// [`ClusterMemoryModel`]: the footprint is the worst rank — the one
+/// holding the largest balanced expert share — with the ceiling share of
+/// the KV cache and step workspace. Every executed step re-validates its
+/// placement against the same KV-aware residency, and a round-robin
+/// placement (balanced `ceil(E/g)` expert counts) always fits once
+/// admission has passed, so an admitted trace never strands a step.
+#[derive(Debug, Clone)]
+pub struct ClusterAdmissionBudget {
+    memory: ClusterMemoryModel,
+    num_gpus: usize,
+    max_experts_per_gpu: usize,
+}
+
+impl ClusterAdmissionBudget {
+    /// Build the budget for a cluster serving `model`.
+    pub fn new(cluster: &ClusterConfig, model: &MoeModelConfig) -> Self {
+        let num_gpus = cluster.num_gpus.max(1);
+        let experts = model.num_experts;
+        // The straggler's expert count under the configured strategy:
+        // balanced shares for the non-replicating strategies, plus a full
+        // copy of every replicated hot expert otherwise.
+        let max_experts_per_gpu = match cluster.strategy {
+            PlacementStrategy::ReplicateHot { hot } => {
+                let hot = hot.min(experts);
+                hot + (experts - hot).div_ceil(num_gpus)
+            }
+            PlacementStrategy::RoundRobin | PlacementStrategy::CapacityGreedy => {
+                experts.div_ceil(num_gpus)
+            }
+        };
+        Self {
+            memory: ClusterMemoryModel::new(&cluster.device, cluster.engine, model),
+            num_gpus,
+            max_experts_per_gpu,
+        }
+    }
+
+    /// The per-GPU memory model underneath.
+    pub fn memory_model(&self) -> &ClusterMemoryModel {
+        &self.memory
+    }
+
+    /// Routed experts resident on the straggler GPU.
+    pub fn max_experts_per_gpu(&self) -> usize {
+        self.max_experts_per_gpu
+    }
+}
+
+impl MemoryBudget for ClusterAdmissionBudget {
+    fn budget_bytes(&self) -> f64 {
+        self.memory.budget_bytes()
+    }
+
+    fn footprint_bytes(&self, kv_tokens: usize, step_tokens: usize) -> f64 {
+        // Tokens live interleaved across ranks (token `t` on GPU `t mod g`),
+        // so the straggler hosts the ceiling share of both the resident KV
+        // and the in-flight step.
+        let kv_local = kv_tokens.div_ceil(self.num_gpus);
+        let step_local = step_tokens.div_ceil(self.num_gpus);
+        self.memory
+            .gpu_bytes(self.max_experts_per_gpu, kv_local, step_local)
+    }
+}
+
+/// An expert-parallel cluster as a serving execution backend.
+#[derive(Debug, Clone)]
+pub struct ClusterBackend {
+    sim: ClusterSimulator,
+    budget: ClusterAdmissionBudget,
+    router: TopKRouter,
+    attention: AttentionKind,
+    routing_seed: u64,
+    step_overhead_ms: f64,
+}
+
+impl ClusterBackend {
+    /// Build the backend for one (cluster, model) pair, taking the
+    /// cost-model knobs (attention kind, routing seed, step overhead) from
+    /// the scheduler configuration — the same contract as
+    /// [`SingleGpuBackend::new`](samoyeds_serve::SingleGpuBackend::new).
+    pub fn new(cluster: ClusterConfig, model: MoeModelConfig, scfg: &SchedulerConfig) -> Self {
+        Self {
+            budget: ClusterAdmissionBudget::new(&cluster, &model),
+            router: TopKRouter::for_config(&model, scfg.routing_seed),
+            sim: ClusterSimulator::new(cluster, model),
+            attention: scfg.attention,
+            routing_seed: scfg.routing_seed,
+            step_overhead_ms: scfg.step_overhead_ms,
+        }
+    }
+
+    /// The cluster simulator pricing the MoE steps.
+    pub fn simulator(&self) -> &ClusterSimulator {
+        &self.sim
+    }
+
+    /// The straggler-GPU admission budget (concrete type).
+    pub fn admission_budget(&self) -> &ClusterAdmissionBudget {
+        &self.budget
+    }
+}
+
+impl ExecutionBackend for ClusterBackend {
+    fn engine_kind(&self) -> EngineKind {
+        self.sim
+            .cluster()
+            .engine
+            .engine(&self.sim.cluster().device)
+            .kind()
+    }
+
+    fn model(&self) -> &MoeModelConfig {
+        self.sim.model()
+    }
+
+    fn supports(&self, config: &MoeModelConfig) -> bool {
+        self.sim
+            .cluster()
+            .engine
+            .engine(&self.sim.cluster().device)
+            .supports(config)
+    }
+
+    fn memory(&self) -> &dyn MemoryBudget {
+        &self.budget
+    }
+
+    fn step_cost(&self, workload: &StepWorkload<'_>) -> StepCost {
+        let cluster = self.sim.cluster();
+        let model = self.sim.model();
+        let step_tokens = workload.step_tokens();
+        let plan = self
+            .router
+            .route_seeded(self.routing_seed ^ workload.step_index, step_tokens);
+
+        // Serving-path placement: balance the plan's token-count loads (free
+        // to compute, unlike the per-expert engine cost profile the static
+        // sweeps use — this runs every step) and validate against the rank's
+        // *actual* residency: its ceiling share of the running set's KV
+        // cache, not just the step's tokens. If the configured strategy
+        // cannot place under that (e.g. hot-expert replication without
+        // headroom, or a skew-packed rank), fall back to round-robin, whose
+        // balanced `ceil(E/g)` expert counts the admission budget guarantees
+        // to fit.
+        let gpus = cluster.num_gpus.max(1);
+        let kv_tokens: usize = workload.running.iter().map(|r| r.context_tokens()).sum();
+        let kv_local = kv_tokens.div_ceil(gpus);
+        let step_local = step_tokens.div_ceil(gpus);
+        let loads = plan.expert_loads();
+        let placement = cluster
+            .strategy
+            .place(&loads, gpus, self.sim.memory(), kv_local, step_local)
+            .or_else(|_| {
+                PlacementStrategy::RoundRobin.place(
+                    &loads,
+                    gpus,
+                    self.sim.memory(),
+                    kv_local,
+                    step_local,
+                )
+            });
+        let report = placement
+            .and_then(|p| self.sim.step_with_placement(&plan, p))
+            .expect(
+                "admission admitted a step the cluster cannot place \
+                 (straggler budget and balanced placement disagree)",
+            );
+
+        // Attention and the norm/router auxiliaries are data-parallel: each
+        // rank hosts its interleaved share of the requests, so the per-layer
+        // cost divides across the pod.
+        let g = cluster.num_gpus.max(1) as f64;
+        let device = &cluster.device;
+        let attention_ms = attention_step_ms(
+            device,
+            model,
+            self.attention,
+            workload.batch,
+            workload.running,
+        ) / g;
+        let other_ms = auxiliary_step_ms(device, model, step_tokens) / g;
+
+        let layers = model.num_layers as f64;
+        StepCost {
+            compute_ms: (report.straggler_ms() + attention_ms + other_ms) * layers
+                + self.step_overhead_ms,
+            collective_ms: report.all_to_all_ms * layers,
+        }
+    }
+
+    fn describe(&self) -> String {
+        let cluster = self.sim.cluster();
+        format!(
+            "cluster {}x {} ({}) · {} · {} · {}",
+            cluster.num_gpus,
+            cluster.device.name,
+            cluster.link.name,
+            cluster.engine.name(),
+            cluster.strategy.name(),
+            self.sim.model().name,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::ClusterEngine;
+    use samoyeds_gpu_sim::DeviceSpec;
+    use samoyeds_serve::{Scheduler, TraceConfig};
+
+    fn backend(device: DeviceSpec, gpus: usize, engine: ClusterEngine) -> ClusterBackend {
+        ClusterBackend::new(
+            ClusterConfig::new(device, gpus, engine),
+            MoeModelConfig::qwen2_moe(),
+            &SchedulerConfig::default(),
+        )
+    }
+
+    fn small_trace() -> TraceConfig {
+        TraceConfig {
+            num_requests: 12,
+            arrival_rate_rps: 8.0,
+            prompt_len_range: (32, 128),
+            output_len_range: (4, 12),
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn cluster_backend_serves_a_trace_with_collective_time() {
+        let backend = backend(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds);
+        assert!(backend.describe().contains("4x"));
+        let scheduler = Scheduler::from_backend(backend, SchedulerConfig::default());
+        let result = scheduler.run(&small_trace().generate());
+        assert!(result.supported);
+        assert!(!result.completed.is_empty());
+        assert!(result.rejected.is_empty());
+        // Every multi-GPU step pays a nonzero collective share.
+        assert!(!result.steps.is_empty());
+        for step in &result.steps {
+            assert!(step.collective_ms > 0.0, "step without all-to-all");
+            assert!(step.collective_ms < step.time_ms);
+            assert!(step.memory_bytes <= result.budget_bytes);
+        }
+        assert!(result.collective_ms() > 0.0);
+    }
+
+    #[test]
+    fn one_gpu_cluster_pays_no_collectives() {
+        let backend = backend(DeviceSpec::a100_40g(), 1, ClusterEngine::Samoyeds);
+        let scheduler = Scheduler::from_backend(backend, SchedulerConfig::default());
+        let result = scheduler.run(&small_trace().generate());
+        assert!(!result.completed.is_empty());
+        for step in &result.steps {
+            assert_eq!(step.collective_ms, 0.0);
+        }
+    }
+
+    #[test]
+    fn dense_weights_reject_on_the_consumer_pod_where_samoyeds_serves() {
+        // The acceptance-criterion cell in backend form: on 1x RTX 4070
+        // Super, dense Qwen2 weights overflow the per-GPU budget (trace
+        // rejected for memory) while the Samoyeds compressed weights admit
+        // and serve the same trace.
+        let trace = small_trace().generate();
+        let run = |engine| {
+            let backend = backend(DeviceSpec::rtx4070_super(), 1, engine);
+            Scheduler::from_backend(backend, SchedulerConfig::default()).run(&trace)
+        };
+        let dense = run(ClusterEngine::Dense);
+        assert!(dense.supported, "dense rejects for memory, not kernels");
+        assert!(dense.completed.is_empty());
+        assert_eq!(dense.rejected.len(), trace.len());
+        let samoyeds = run(ClusterEngine::Samoyeds);
+        assert_eq!(samoyeds.completed.len(), trace.len());
+        assert!(samoyeds.rejected.is_empty());
+    }
+
+    #[test]
+    fn admission_budget_is_per_gpu_and_shrinks_with_more_gpus() {
+        let one = backend(DeviceSpec::a100_40g(), 1, ClusterEngine::Dense);
+        let four = backend(DeviceSpec::a100_40g(), 4, ClusterEngine::Dense);
+        // Same per-GPU budget, smaller per-GPU footprint at 4 GPUs.
+        assert_eq!(one.memory().budget_bytes(), four.memory().budget_bytes());
+        assert!(four.memory().footprint_bytes(4096, 512) < one.memory().footprint_bytes(4096, 512));
+        // Qwen2-MoE has 60 routed experts: ceil(60 / 4) = 15 per rank.
+        assert_eq!(four.admission_budget().max_experts_per_gpu(), 15);
+    }
+
+    #[test]
+    fn replicate_hot_budget_accounts_for_the_replicas() {
+        let model = MoeModelConfig::qwen2_moe();
+        let base = ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds);
+        let plain = ClusterAdmissionBudget::new(&base, &model);
+        let replicated = ClusterAdmissionBudget::new(
+            &base
+                .clone()
+                .with_strategy(PlacementStrategy::ReplicateHot { hot: 2 }),
+            &model,
+        );
+        assert!(replicated.max_experts_per_gpu() > plain.max_experts_per_gpu());
+        assert!(replicated.footprint_bytes(1024, 128) > plain.footprint_bytes(1024, 128));
+    }
+}

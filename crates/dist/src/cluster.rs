@@ -225,10 +225,22 @@ impl ClusterSimulator {
             .is_ok()
     }
 
-    /// Execute one cluster step over `plan`.
+    /// Execute one cluster step over `plan` with the configured strategy's
+    /// placement.
     pub fn step(&self, plan: &RoutingPlan) -> Result<ClusterStepReport> {
-        let g = self.cluster.num_gpus;
         let placement = self.placement_for(plan)?;
+        self.step_with_placement(plan, placement)
+    }
+
+    /// Execute one cluster step over `plan` under an explicit `placement`
+    /// (the serving backend supplies its own, with fallback, so a transient
+    /// placement failure never aborts a running trace).
+    pub fn step_with_placement(
+        &self,
+        plan: &RoutingPlan,
+        placement: ExpertPlacement,
+    ) -> Result<ClusterStepReport> {
+        let g = self.cluster.num_gpus;
         let shards = plan.shard(placement.assignments())?;
         let locals = self.local_tokens(plan.num_tokens);
         let engine = self.cluster.engine.engine(&self.cluster.device);
@@ -340,6 +352,75 @@ mod tests {
         let util = report.utilization();
         assert_eq!(util.len(), 4);
         assert!(util.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    }
+
+    #[test]
+    fn zero_duration_steps_report_zero_not_nan() {
+        // Regression: a degenerate (empty) routing plan must price to a
+        // well-defined zero-ish step — tokens_per_s, utilization and the
+        // all-to-all fraction all return 0 rather than NaN/inf when the
+        // step has no duration.
+        let config = MoeModelConfig::qwen2_moe();
+        let empty = TopKRouter::for_config(&config, 42).route(0);
+        assert_eq!(empty.num_tokens, 0);
+        for engine in ClusterEngine::all() {
+            let sim = ClusterSimulator::new(
+                ClusterConfig::new(DeviceSpec::a100_40g(), 4, engine),
+                config.clone(),
+            );
+            let report = sim.step(&empty).unwrap();
+            assert_eq!(report.tokens, 0);
+            assert_eq!(report.all_to_all_ms, 0.0);
+            let tps = report.tokens_per_s();
+            assert!(tps.is_finite(), "{engine:?} tokens_per_s {tps}");
+            assert_eq!(tps, 0.0);
+            assert!(report.all_to_all_fraction().is_finite());
+            for u in report.utilization() {
+                assert!(u.is_finite(), "{engine:?} utilization {u}");
+                assert!((0.0..=1.0).contains(&u));
+            }
+            assert!(report.mean_compute_ms().is_finite());
+            assert!(report.straggler_ms().is_finite());
+        }
+    }
+
+    #[test]
+    fn hand_built_zero_time_report_is_guarded() {
+        // The guards themselves, independent of the simulator: a report with
+        // literally zero step time must not divide by zero.
+        let report = ClusterStepReport {
+            num_gpus: 2,
+            tokens: 0,
+            placement: ExpertPlacement {
+                strategy: PlacementStrategy::RoundRobin,
+                gpu_experts: vec![Vec::new(), Vec::new()],
+            },
+            per_gpu_compute_ms: vec![0.0, 0.0],
+            all_to_all_ms: 0.0,
+            layer_time_ms: 0.0,
+            model_time_ms: 0.0,
+            sharded_assignments: 0,
+        };
+        assert_eq!(report.tokens_per_s(), 0.0);
+        assert_eq!(report.all_to_all_fraction(), 0.0);
+        assert_eq!(report.utilization(), vec![0.0, 0.0]);
+        assert_eq!(report.mean_compute_ms(), 0.0);
+    }
+
+    #[test]
+    fn step_with_placement_matches_step_for_the_default_strategy() {
+        let config = MoeModelConfig::qwen2_moe();
+        let plan = plan(&config, 1024);
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds),
+            config,
+        );
+        let placement = sim.placement_for(&plan).unwrap();
+        let via_step = sim.step(&plan).unwrap();
+        let via_explicit = sim.step_with_placement(&plan, placement).unwrap();
+        assert_eq!(via_step.layer_time_ms, via_explicit.layer_time_ms);
+        assert_eq!(via_step.all_to_all_ms, via_explicit.all_to_all_ms);
+        assert_eq!(via_step.per_gpu_compute_ms, via_explicit.per_gpu_compute_ms);
     }
 
     #[test]

@@ -21,8 +21,14 @@
 //!   charges per-GPU compute through the existing engine/`gpu-sim` cost
 //!   model plus all-to-all transfer time, and tracks utilization and
 //!   straggler-induced step time;
+//! * [`backend`] — [`ClusterBackend`], the expert-parallel implementation
+//!   of the `samoyeds-serve`
+//!   [`ExecutionBackend`](samoyeds_serve::ExecutionBackend) trait: the
+//!   continuous-batching scheduler drives a whole pod (straggler compute +
+//!   collectives per step, admission against the straggler GPU's budget);
 //! * [`report`] — dense vs VENOM vs Samoyeds GPU-count sweeps, fleet
-//!   sizing and placement comparisons as markdown.
+//!   sizing, placement comparisons and the cluster-serving sweep as
+//!   markdown.
 //!
 //! ```
 //! use samoyeds_dist::{ClusterConfig, ClusterEngine, ClusterSimulator};
@@ -44,12 +50,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod cluster;
 pub mod link;
 pub mod placement;
 pub mod report;
 
+pub use backend::{ClusterAdmissionBudget, ClusterBackend};
 pub use cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator, ClusterStepReport};
 pub use link::LinkSpec;
 pub use placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, PlacementStrategy};
-pub use report::{render_fleet_sizing, render_placement_comparison, ClusterReport};
+pub use report::{
+    render_fleet_sizing, render_placement_comparison, ClusterReport, ClusterServingEntry,
+    ClusterServingReport,
+};

@@ -1,11 +1,15 @@
-//! Cluster-level comparison report: GPU-count sweeps over the weight
-//! representations, rendered as markdown.
+//! Cluster-level comparison reports: GPU-count sweeps over the weight
+//! representations and the cluster-serving sweep (continuous batching over
+//! the cluster backend), rendered as markdown.
 
+use crate::backend::ClusterBackend;
 use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
+use crate::link::LinkSpec;
 use crate::placement::{ClusterEngine, PlacementStrategy};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::router::TopKRouter;
+use samoyeds_serve::{Scheduler, SchedulerConfig, ServingMetrics, TraceConfig};
 
 /// One (device, engine, GPU-count) cell of the sweep.
 #[derive(Debug, Clone)]
@@ -204,6 +208,143 @@ pub fn render_placement_comparison(
     rows
 }
 
+/// One (device, link, engine, GPU-count) cell of the cluster-serving sweep.
+#[derive(Debug, Clone)]
+pub struct ClusterServingEntry {
+    /// Device name.
+    pub device: String,
+    /// Interconnect name.
+    pub link: String,
+    /// Weight representation.
+    pub engine: ClusterEngine,
+    /// GPUs in the pod.
+    pub num_gpus: usize,
+    /// Serving metrics of the run, including completed/rejected counts
+    /// (`servable == false` marks a pod whose straggler GPU cannot admit
+    /// the trace — the OOM cells).
+    pub metrics: ServingMetrics,
+    /// Share of executed step time spent in the all-to-all collectives.
+    pub collective_fraction: f64,
+}
+
+/// The cluster-serving sweep: one shared request trace pushed through the
+/// continuous-batching scheduler over [`ClusterBackend`]s of every
+/// (device/link, engine, GPU-count) combination — the serving-level version
+/// of the static GPU-count sweep, where infeasible cells show up as
+/// *rejected traces* instead of OOM table entries.
+#[derive(Debug, Clone)]
+pub struct ClusterServingReport {
+    /// The model served.
+    pub model: String,
+    /// Requests in the shared trace.
+    pub num_requests: usize,
+    /// All sweep cells, in (device, engine, gpus) order.
+    pub entries: Vec<ClusterServingEntry>,
+}
+
+impl ClusterServingReport {
+    /// Serve `trace` with `model` on 1/2/4/8-GPU pods of the consumer RTX
+    /// 4070 Super (PCIe) and the datacenter A100 (NVLink and, for the
+    /// fabric contrast, PCIe), under dense vs VENOM vs Samoyeds weights.
+    pub fn sweep(model: &MoeModelConfig, trace: &TraceConfig, scfg: &SchedulerConfig) -> Self {
+        let requests = trace.generate();
+        let fabrics: [(DeviceSpec, LinkSpec); 3] = [
+            (DeviceSpec::rtx4070_super(), LinkSpec::pcie_gen4()),
+            (DeviceSpec::a100_40g(), LinkSpec::nvlink3()),
+            (DeviceSpec::a100_40g(), LinkSpec::pcie_gen4()),
+        ];
+        let mut entries = Vec::new();
+        for (device, link) in &fabrics {
+            for engine in ClusterEngine::all() {
+                for num_gpus in [1usize, 2, 4, 8] {
+                    let cluster = ClusterConfig::new(device.clone(), num_gpus, engine)
+                        .with_link(link.clone());
+                    let backend = ClusterBackend::new(cluster, model.clone(), scfg);
+                    let result = Scheduler::from_backend(backend, *scfg).run(&requests);
+                    let step_ms: f64 = result.steps.iter().map(|s| s.time_ms).sum();
+                    entries.push(ClusterServingEntry {
+                        device: device.name.clone(),
+                        link: link.name.clone(),
+                        engine,
+                        num_gpus,
+                        collective_fraction: if step_ms > 0.0 {
+                            result.collective_ms() / step_ms
+                        } else {
+                            0.0
+                        },
+                        metrics: ServingMetrics::from_result(&result),
+                    });
+                }
+            }
+        }
+        Self {
+            model: model.name.clone(),
+            num_requests: requests.len(),
+            entries,
+        }
+    }
+
+    /// A cell where the Samoyeds weights admit the trace while dense
+    /// weights reject it for memory, if any: `(device, link, num_gpus)`.
+    pub fn admission_contrast(&self) -> Option<(String, String, usize)> {
+        self.entries
+            .iter()
+            .filter(|e| e.engine == ClusterEngine::Samoyeds && e.metrics.servable)
+            .find(|s| {
+                self.entries.iter().any(|d| {
+                    d.engine == ClusterEngine::Dense
+                        && d.device == s.device
+                        && d.link == s.link
+                        && d.num_gpus == s.num_gpus
+                        && !d.metrics.servable
+                        && d.metrics.rejected > 0
+                })
+            })
+            .map(|s| (s.device.clone(), s.link.clone(), s.num_gpus))
+    }
+
+    /// Render the sweep as a markdown table.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mut rows = vec![
+            format!(
+                "Cluster serving: {} ({} requests, continuous batching over the cluster backend)",
+                self.model, self.num_requests
+            ),
+            "| Device | Link | Engine | GPUs | Served | Rejected | tok/s (output) | p95 ms | TTFT p95 ms | A2A share | Peak GiB/GPU |"
+                .to_string(),
+            "|---|---|---|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            if !e.metrics.servable {
+                rows.push(format!(
+                    "| {} | {} | {} | {} | OOM | {} | - | - | - | - | - |",
+                    e.device,
+                    e.link,
+                    e.engine.name(),
+                    e.num_gpus,
+                    e.metrics.rejected,
+                ));
+                continue;
+            }
+            rows.push(format!(
+                "| {} | {} | {} | {} | {} | {} | {:.0} | {:.0} | {:.0} | {:.0}% | {:.1} |",
+                e.device,
+                e.link,
+                e.engine.name(),
+                e.num_gpus,
+                e.metrics.completed,
+                e.metrics.rejected,
+                e.metrics.output_tokens_per_s,
+                e.metrics.request_latency.p95_ms,
+                e.metrics.ttft.p95_ms,
+                e.collective_fraction * 100.0,
+                e.metrics.peak_memory_gib,
+            ));
+        }
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -244,6 +385,59 @@ mod tests {
         let consumer_row = &rows[3];
         // Dense needs more GPUs than Samoyeds on the 12 GiB card.
         assert!(consumer_row.contains("4070"), "{consumer_row}");
+    }
+
+    fn serving_sweep_fixture() -> ClusterServingReport {
+        let trace = TraceConfig {
+            num_requests: 10,
+            arrival_rate_rps: 8.0,
+            prompt_len_range: (32, 128),
+            output_len_range: (4, 12),
+            seed: 11,
+        };
+        ClusterServingReport::sweep(
+            &MoeModelConfig::qwen2_moe(),
+            &trace,
+            &SchedulerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn cluster_serving_sweep_has_the_admission_contrast_cell() {
+        let report = serving_sweep_fixture();
+        // 3 fabrics x 3 engines x 4 GPU counts.
+        assert_eq!(report.entries.len(), 3 * 3 * 4);
+        // The acceptance-criterion cell: Samoyeds admits where dense is
+        // rejected for memory — on the 12 GiB consumer card.
+        let (device, _, gpus) = report.admission_contrast().expect("contrast cell exists");
+        assert!(device.contains("4070"), "{device}");
+        assert_eq!(gpus, 1);
+        let rows = report.render_markdown();
+        assert!(rows.iter().any(|r| r.contains("OOM")));
+        assert!(rows.len() >= 3 + 36);
+    }
+
+    #[test]
+    fn cluster_serving_collectives_grow_with_the_fabric_penalty() {
+        let report = serving_sweep_fixture();
+        let share = |device: &str, link: &str, gpus: usize| {
+            report
+                .entries
+                .iter()
+                .find(|e| {
+                    e.device.contains(device)
+                        && e.link.contains(link)
+                        && e.num_gpus == gpus
+                        && e.engine == ClusterEngine::Samoyeds
+                })
+                .expect("cell exists")
+                .collective_fraction
+        };
+        // Single-GPU pods pay no collectives; PCIe pays more than NVLink
+        // for the same pod size on the same device.
+        assert_eq!(share("A100", "NVLink", 1), 0.0);
+        assert!(share("A100", "NVLink", 4) > 0.0);
+        assert!(share("A100", "PCIe", 4) > share("A100", "NVLink", 4));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 
 use proptest::prelude::*;
 use samoyeds_dist::{
-    ClusterConfig, ClusterEngine, ClusterMemoryModel, ClusterSimulator, PlacementStrategy,
+    ClusterBackend, ClusterConfig, ClusterEngine, ClusterMemoryModel, ClusterSimulator,
+    PlacementStrategy,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::router::TopKRouter;
+use samoyeds_serve::{ExecutionBackend, Scheduler, SchedulerConfig, TraceConfig};
 
 fn arb_strategy() -> impl Strategy<Value = PlacementStrategy> {
     (0usize..3, 1usize..4).prop_map(|(which, hot)| match which {
@@ -93,6 +95,63 @@ proptest! {
                 prop_assert!((0.0..=1.0).contains(&u));
             }
         }
+    }
+
+    /// Continuous batching over the cluster backend never admits past the
+    /// straggler GPU's memory budget: every executed step's footprint (and
+    /// the run's peak) stays within per-GPU usable memory, whatever the
+    /// trace, pod size, fabric or weight representation.
+    #[test]
+    fn cluster_backend_admission_respects_the_per_gpu_budget(
+        num_requests in 1usize..20,
+        rate in 1.0f64..32.0,
+        prompt_hi in 16usize..384,
+        output_hi in 2usize..24,
+        gpus in 1usize..9,
+        engine_idx in 0usize..3,
+        device_idx in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let engine = ClusterEngine::all()[engine_idx];
+        let device = if device_idx == 0 {
+            DeviceSpec::rtx4070_super()
+        } else {
+            DeviceSpec::a100_40g()
+        };
+        let model = MoeModelConfig::qwen2_moe();
+        let trace = TraceConfig {
+            num_requests,
+            arrival_rate_rps: rate,
+            prompt_len_range: (8, prompt_hi.max(9)),
+            output_len_range: (1, output_hi),
+            seed,
+        }
+        .generate();
+        let scfg = SchedulerConfig::default();
+        let backend = ClusterBackend::new(
+            ClusterConfig::new(device, gpus, engine),
+            model.clone(),
+            &scfg,
+        );
+        let budget_bytes = backend.memory().budget_bytes();
+        let result = Scheduler::from_backend(backend, scfg).run(&trace);
+        // Request conservation still holds behind the cluster backend.
+        prop_assert_eq!(result.completed.len() + result.rejected.len(), trace.len());
+        prop_assert_eq!(result.budget_bytes, budget_bytes);
+        for step in &result.steps {
+            prop_assert!(
+                step.memory_bytes <= budget_bytes,
+                "step used {:.2} of {:.2} GiB on the straggler GPU",
+                step.memory_bytes / (1u64 << 30) as f64,
+                budget_bytes / (1u64 << 30) as f64,
+            );
+            prop_assert!(step.time_ms.is_finite() && step.time_ms > 0.0);
+            prop_assert!(step.collective_ms >= 0.0);
+            if gpus == 1 {
+                prop_assert_eq!(step.collective_ms, 0.0);
+            }
+        }
+        prop_assert!(result.peak_memory_bytes <= budget_bytes);
     }
 
     /// Whenever a placement is produced, no GPU exceeds its memory budget —

@@ -205,7 +205,17 @@ impl TopKRouter {
     /// (uniformly, or Zipf-weighted under [`Self::with_skew`]) and receives
     /// softmax-normalised router weights.
     pub fn route(&self, num_tokens: usize) -> RoutingPlan {
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        self.route_seeded(self.seed, num_tokens)
+    }
+
+    /// [`Self::route`] with an explicit seed override. Lets a long-lived
+    /// router be reseeded per call (one router per scheduler, one seed per
+    /// step) instead of being rebuilt on every step of a serving hot path:
+    /// `router.route_seeded(s, n)` equals
+    /// `TopKRouter::new(num_experts, top_k, s).unwrap().route(n)` with the
+    /// same skew.
+    pub fn route_seeded(&self, seed: u64, num_tokens: usize) -> RoutingPlan {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut expert_tokens: Vec<Vec<u32>> = vec![Vec::new(); self.num_experts];
         let mut expert_weights: Vec<Vec<f32>> = vec![Vec::new(); self.num_experts];
         let mut experts: Vec<usize> = (0..self.num_experts).collect();
@@ -289,6 +299,22 @@ mod tests {
         assert_eq!(r.route(128), r.route(128));
         let r2 = TopKRouter::new(8, 2, 43).unwrap();
         assert_ne!(r.route(128), r2.route(128));
+    }
+
+    #[test]
+    fn route_seeded_matches_a_router_built_with_that_seed() {
+        // The per-step reseeding contract the serving backends rely on: one
+        // long-lived router reseeded per call is indistinguishable from a
+        // router rebuilt with the override seed.
+        let base = TopKRouter::new(8, 2, 42).unwrap();
+        for seed in [0u64, 1, 42, 42 ^ 7, u64::MAX] {
+            let rebuilt = TopKRouter::new(8, 2, seed).unwrap();
+            assert_eq!(base.route_seeded(seed, 128), rebuilt.route(128));
+        }
+        // The same holds under skew.
+        let skewed = TopKRouter::new(16, 3, 5).unwrap().with_skew(1.2);
+        let rebuilt = TopKRouter::new(16, 3, 99).unwrap().with_skew(1.2);
+        assert_eq!(skewed.route_seeded(99, 256), rebuilt.route(256));
     }
 
     #[test]

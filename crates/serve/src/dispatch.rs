@@ -1,13 +1,16 @@
 //! Multi-replica request dispatch: the front door of a data-parallel fleet.
 //!
-//! When one engine instance cannot absorb the offered load, serving systems
+//! When one serving replica cannot absorb the offered load, serving systems
 //! run several identical replicas behind a dispatcher. This module splits a
 //! request trace across `n` replicas under a dispatch policy and simulates
-//! each replica independently with the existing continuous-batching
-//! scheduler; the fleet metrics aggregate per-replica results (throughput
-//! sums, latency samples pool). The cluster simulator (`samoyeds-dist`)
-//! layers expert parallelism *within* a replica on top of this hook.
+//! each replica independently with the continuous-batching scheduler; the
+//! fleet metrics aggregate per-replica results (throughput sums, latency
+//! samples pool). The fleet is generic over the
+//! [`ExecutionBackend`](crate::backend::ExecutionBackend), so a replica can
+//! be one GPU ([`SingleGpuBackend`]) or a whole expert-parallel pod
+//! (`ClusterBackend` in `samoyeds-dist`) without changing the dispatcher.
 
+use crate::backend::{ExecutionBackend, SingleGpuBackend};
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
 use crate::request::Request;
 use crate::scheduler::{Scheduler, SchedulerConfig, SimulationResult};
@@ -84,29 +87,58 @@ pub struct FleetMetrics {
     pub per_replica: Vec<ServingMetrics>,
 }
 
-/// A fleet of identical serving replicas behind a dispatcher.
+/// A fleet of identical serving replicas behind a dispatcher. Each replica
+/// is one clone of the fleet's execution backend.
 #[derive(Debug, Clone)]
-pub struct ReplicaFleet {
-    device: DeviceSpec,
-    config: MoeModelConfig,
+pub struct ReplicaFleet<B: ExecutionBackend + Clone = SingleGpuBackend> {
+    backend: B,
     replicas: usize,
     policy: DispatchPolicy,
     scheduler: SchedulerConfig,
 }
 
-impl ReplicaFleet {
-    /// Build a fleet of `replicas` copies of (device, model).
+impl ReplicaFleet<SingleGpuBackend> {
+    /// Build a single-GPU fleet: `replicas` copies of (device, model,
+    /// engine) with the default scheduler configuration.
     ///
     /// # Panics
     /// Panics if `replicas` is zero.
-    pub fn new(device: DeviceSpec, config: MoeModelConfig, replicas: usize) -> Self {
+    pub fn new(
+        device: DeviceSpec,
+        config: MoeModelConfig,
+        engine: EngineKind,
+        replicas: usize,
+    ) -> Self {
+        Self::single_gpu(device, config, engine, replicas, SchedulerConfig::default())
+    }
+
+    /// [`Self::new`] with an explicit scheduler configuration (the config
+    /// also parameterises each replica's backend cost model, so it is taken
+    /// at construction time rather than mutated afterwards).
+    pub fn single_gpu(
+        device: DeviceSpec,
+        config: MoeModelConfig,
+        engine: EngineKind,
+        replicas: usize,
+        scheduler: SchedulerConfig,
+    ) -> Self {
+        let backend = SingleGpuBackend::new(device, &config, engine, &scheduler);
+        Self::from_backend(backend, replicas, scheduler)
+    }
+}
+
+impl<B: ExecutionBackend + Clone> ReplicaFleet<B> {
+    /// Build a fleet of `replicas` clones of `backend`.
+    ///
+    /// # Panics
+    /// Panics if `replicas` is zero.
+    pub fn from_backend(backend: B, replicas: usize, scheduler: SchedulerConfig) -> Self {
         assert!(replicas >= 1, "a fleet needs at least one replica");
         Self {
-            device,
-            config,
+            backend,
             replicas,
             policy: DispatchPolicy::LeastOutstandingTokens,
-            scheduler: SchedulerConfig::default(),
+            scheduler,
         }
     }
 
@@ -116,36 +148,27 @@ impl ReplicaFleet {
         self
     }
 
-    /// Replace the per-replica scheduler configuration.
-    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
-        self.scheduler = scheduler;
-        self
-    }
-
     /// Number of replicas.
     pub fn replicas(&self) -> usize {
         self.replicas
     }
 
+    /// The backend every replica clones.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
     /// Simulate every replica on its dispatched shard of `trace`.
-    pub fn simulate(&self, trace: &[Request], engine: EngineKind) -> Vec<SimulationResult> {
+    pub fn simulate(&self, trace: &[Request]) -> Vec<SimulationResult> {
         dispatch_trace(trace, self.replicas, self.policy)
             .iter()
-            .map(|shard| {
-                Scheduler::new(
-                    self.device.clone(),
-                    self.config.clone(),
-                    engine,
-                    self.scheduler,
-                )
-                .run(shard)
-            })
+            .map(|shard| Scheduler::from_backend(self.backend.clone(), self.scheduler).run(shard))
             .collect()
     }
 
     /// Simulate the fleet and aggregate its metrics.
-    pub fn metrics(&self, trace: &[Request], engine: EngineKind) -> FleetMetrics {
-        let results = self.simulate(trace, engine);
+    pub fn metrics(&self, trace: &[Request]) -> FleetMetrics {
+        let results = self.simulate(trace);
         let per_replica: Vec<ServingMetrics> =
             results.iter().map(ServingMetrics::from_result).collect();
         let latencies: Vec<f64> = results
@@ -163,7 +186,7 @@ impl ReplicaFleet {
         let makespan_ms = results.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
         let output_tokens: usize = results.iter().map(|r| r.output_tokens()).sum();
         FleetMetrics {
-            engine,
+            engine: self.backend.engine_kind(),
             replicas: self.replicas,
             completed: results.iter().map(|r| r.completed.len()).sum(),
             rejected: results.iter().map(|r| r.rejected.len()).sum(),
@@ -235,9 +258,10 @@ mod tests {
         let trace = trace();
         let device = DeviceSpec::a100_40g();
         let config = MoeModelConfig::qwen2_moe();
-        let one = ReplicaFleet::new(device.clone(), config.clone(), 1)
-            .metrics(&trace, EngineKind::Samoyeds);
-        let four = ReplicaFleet::new(device, config, 4).metrics(&trace, EngineKind::Samoyeds);
+        let one = ReplicaFleet::new(device.clone(), config.clone(), EngineKind::Samoyeds, 1)
+            .metrics(&trace);
+        let four = ReplicaFleet::new(device, config, EngineKind::Samoyeds, 4).metrics(&trace);
+        assert_eq!(one.engine, EngineKind::Samoyeds);
         assert_eq!(one.completed + one.rejected, trace.len());
         assert_eq!(four.completed + four.rejected, trace.len());
         assert_eq!(four.per_replica.len(), 4);
@@ -250,5 +274,21 @@ mod tests {
         assert!(four.request_latency.p50_ms <= four.request_latency.p95_ms);
         assert!(four.tpot.p50_ms > 0.0);
         assert!(four.tpot.p50_ms <= four.tpot.p95_ms);
+    }
+
+    #[test]
+    fn from_backend_matches_the_single_gpu_front_door() {
+        let trace = trace();
+        let device = DeviceSpec::a100_40g();
+        let config = MoeModelConfig::qwen2_moe();
+        let scfg = SchedulerConfig::default();
+        let via_new = ReplicaFleet::new(device.clone(), config.clone(), EngineKind::Samoyeds, 2)
+            .metrics(&trace);
+        let backend =
+            crate::backend::SingleGpuBackend::new(device, &config, EngineKind::Samoyeds, &scfg);
+        let via_backend = ReplicaFleet::from_backend(backend, 2, scfg).metrics(&trace);
+        assert_eq!(via_new.completed, via_backend.completed);
+        assert_eq!(via_new.makespan_ms, via_backend.makespan_ms);
+        assert_eq!(via_new.output_tokens_per_s, via_backend.output_tokens_per_s);
     }
 }

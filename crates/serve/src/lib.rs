@@ -8,6 +8,9 @@
 //! regime the paper's maximum-batch study (Table 3) approximates statically
 //! and that systems like vLLM-DS target dynamically.
 //!
+//! * [`backend`] — the [`ExecutionBackend`] trait (step pricing, memory
+//!   budget, kernel support) and the [`SingleGpuBackend`] implementation;
+//!   the cluster implementation lives in `samoyeds-dist`;
 //! * [`request`] — request descriptions, lifecycle phases and timing records;
 //! * [`trace`] — deterministic trace generation (arrival process + length
 //!   distributions);
@@ -37,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod batch;
 pub mod dispatch;
 pub mod memory;
@@ -46,9 +50,10 @@ pub mod request;
 pub mod scheduler;
 pub mod trace;
 
+pub use backend::{ExecutionBackend, MemoryBudget, SingleGpuBackend, StepCost, StepWorkload};
 pub use batch::BatchLimits;
 pub use dispatch::{dispatch_trace, DispatchPolicy, FleetMetrics, ReplicaFleet};
-pub use memory::MemoryModel;
+pub use memory::{MemoryModel, KV_DTYPE_BYTES};
 pub use metrics::{latency_summary, LatencySummary, ServingMetrics};
 pub use report::{compare_engines, render_markdown};
 pub use request::{CompletedRequest, Phase, Request, RunningRequest};
@@ -101,15 +106,15 @@ impl ServingSimulator {
         &self.device
     }
 
+    /// The single-GPU execution backend [`Self::simulate`] drives for
+    /// `engine`.
+    pub fn backend(&self, engine: EngineKind) -> SingleGpuBackend {
+        SingleGpuBackend::new(self.device.clone(), &self.config, engine, &self.scheduler)
+    }
+
     /// Run one engine over the trace and return the full simulation record.
     pub fn simulate(&self, engine: EngineKind) -> SimulationResult {
-        Scheduler::new(
-            self.device.clone(),
-            self.config.clone(),
-            engine,
-            self.scheduler,
-        )
-        .run(&self.trace.generate())
+        Scheduler::from_backend(self.backend(engine), self.scheduler).run(&self.trace.generate())
     }
 
     /// Run one engine and summarise it.

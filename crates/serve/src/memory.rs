@@ -8,10 +8,17 @@
 //! execute sequentially). This is the budget the continuous-batching
 //! scheduler admits requests against.
 
+use crate::backend::MemoryBudget;
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::{Engine, EngineKind};
 use samoyeds_moe::memory::USABLE_FRACTION;
+
+/// Bytes per KV-cache element (bf16/fp16). The single source of truth for
+/// the KV dtype width: both the resident-cache accounting below and the
+/// per-decode-token read in the backend cost model route through this
+/// constant, so the two can never disagree about the cache's byte width.
+pub const KV_DTYPE_BYTES: f64 = 2.0;
 
 /// Memory model of one (device, engine, model) combination.
 #[derive(Debug, Clone)]
@@ -32,8 +39,8 @@ impl MemoryModel {
             engine.weight_bytes(config) + config.params_per_attention() as f64 * 2.0;
         Self {
             weight_bytes_total: per_layer_weights * layers,
-            // K and V at bf16 per token per layer.
-            kv_bytes_per_token: 2.0 * config.hidden_size as f64 * 2.0 * layers,
+            // K and V per token per layer at the shared KV dtype width.
+            kv_bytes_per_token: 2.0 * config.hidden_size as f64 * KV_DTYPE_BYTES * layers,
             budget_bytes: device.mem_capacity_gib * 1024.0 * 1024.0 * 1024.0 * USABLE_FRACTION,
             engine,
             config: config.clone(),
@@ -79,6 +86,16 @@ impl MemoryModel {
     }
 }
 
+impl MemoryBudget for MemoryModel {
+    fn budget_bytes(&self) -> f64 {
+        MemoryModel::budget_bytes(self)
+    }
+
+    fn footprint_bytes(&self, kv_tokens: usize, step_tokens: usize) -> f64 {
+        MemoryModel::footprint_bytes(self, kv_tokens, step_tokens)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +120,24 @@ mod tests {
         assert!(m.footprint_bytes(100, 10) < m.footprint_bytes(100, 1000));
         assert!(m.can_hold_model());
         assert!(m.fits(100, 10));
+    }
+
+    #[test]
+    fn kv_bytes_route_through_the_shared_dtype_constant() {
+        // Pins the satellite fix: K + V per token per layer, each element
+        // KV_DTYPE_BYTES wide. If either the memory model or the backend's
+        // decode-read cost switched dtype unilaterally, this breaks.
+        let config = MoeModelConfig::qwen2_moe();
+        let m = MemoryModel::new(&DeviceSpec::a100_40g(), EngineKind::Samoyeds, &config);
+        let expected_per_token =
+            2.0 * config.hidden_size as f64 * KV_DTYPE_BYTES * config.num_layers as f64;
+        assert_eq!(m.kv_bytes(1), expected_per_token);
+        assert_eq!(m.kv_bytes(1000), expected_per_token * 1000.0);
+        // The trait view agrees with the inherent methods.
+        let budget: &dyn MemoryBudget = &m;
+        assert_eq!(budget.budget_bytes(), m.budget_bytes());
+        assert_eq!(budget.footprint_bytes(64, 8), m.footprint_bytes(64, 8));
+        assert!(budget.can_hold_model());
     }
 
     #[test]

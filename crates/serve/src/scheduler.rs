@@ -1,23 +1,23 @@
-//! The continuous-batching scheduler: admission under the memory budget,
-//! chunked-prefill/decode interleaving and the per-step cost model.
+//! The continuous-batching scheduler: admission under the backend's memory
+//! budget, chunked-prefill/decode interleaving, and progress accounting.
 //!
-//! The simulated clock advances by the predicted execution time of each
-//! engine step: the MoE cost comes from `Engine::moe_layer_cost` on the
-//! step's token batch (the same model the paper's layer experiments use),
-//! attention is charged incrementally per request, and everything is scaled
-//! by the model's layer count. All randomness (routing) is seeded, so a
-//! simulation is a pure function of its inputs.
+//! The scheduler is pure policy. Everything physical — step pricing, memory
+//! footprints, kernel support — lives behind
+//! [`ExecutionBackend`](crate::backend::ExecutionBackend): the simulated
+//! clock advances by whatever the backend predicts for each step's workload
+//! (single-GPU engine cost, or per-GPU straggler compute plus all-to-all
+//! collectives for a cluster). All randomness (routing) is seeded inside the
+//! backend, so a simulation is a pure function of its inputs.
 
 use std::collections::VecDeque;
 
-use crate::batch::{build_step, BatchLimits, StepBatch};
-use crate::memory::MemoryModel;
+use crate::backend::{ExecutionBackend, MemoryBudget, SingleGpuBackend, StepWorkload};
+use crate::batch::{build_step, BatchLimits};
 use crate::request::{CompletedRequest, Request, RunningRequest};
 use samoyeds_gpu_sim::DeviceSpec;
-use samoyeds_moe::attention::{attention_time_ms, AttentionKind};
+use samoyeds_moe::attention::AttentionKind;
 use samoyeds_moe::config::MoeModelConfig;
-use samoyeds_moe::engines::{Engine, EngineKind};
-use samoyeds_moe::router::TopKRouter;
+use samoyeds_moe::engines::EngineKind;
 use serde::{Deserialize, Serialize};
 
 /// Scheduler configuration.
@@ -51,13 +51,17 @@ pub struct StepRecord {
     pub start_ms: f64,
     /// Predicted duration of the step.
     pub time_ms: f64,
+    /// Portion of the step spent in inter-GPU collectives (zero on a
+    /// single-GPU backend).
+    pub collective_ms: f64,
     /// Prefill tokens processed.
     pub prefill_tokens: usize,
     /// Decode tokens processed.
     pub decode_tokens: usize,
     /// KV-resident tokens after the step.
     pub kv_tokens: usize,
-    /// Total memory in use during the step (weights + KV + activations).
+    /// Memory in use during the step under the backend's budget model
+    /// (whole model for a single GPU, straggler GPU for a cluster).
     pub memory_bytes: f64,
     /// Concurrently admitted requests during the step.
     pub running: usize,
@@ -101,31 +105,50 @@ impl SimulationResult {
             .map(|c| c.request.total_tokens())
             .sum()
     }
+
+    /// Total time spent in collectives across all steps.
+    pub fn collective_ms(&self) -> f64 {
+        self.steps.iter().map(|s| s.collective_ms).sum()
+    }
 }
 
-/// Continuous-batching scheduler for one (device, model, engine) triple.
+/// Continuous-batching scheduler over one execution backend.
 #[derive(Debug, Clone)]
-pub struct Scheduler {
-    device: DeviceSpec,
-    config: MoeModelConfig,
-    engine: Engine,
-    memory: MemoryModel,
+pub struct Scheduler<B: ExecutionBackend = SingleGpuBackend> {
+    backend: B,
     scfg: SchedulerConfig,
 }
 
-impl Scheduler {
-    /// Build a scheduler.
+impl Scheduler<SingleGpuBackend> {
+    /// Build a single-GPU scheduler for one (device, model, engine) triple —
+    /// the original front door, now routed through [`SingleGpuBackend`].
     ///
     /// # Panics
-    /// Panics if any [`BatchLimits`] field is zero: a zero limit can never
-    /// make progress (no admission, no prefill or no step tokens) and would
-    /// hang the simulation.
+    /// Panics if any [`BatchLimits`] field is zero (see
+    /// [`Scheduler::from_backend`]).
     pub fn new(
         device: DeviceSpec,
         config: MoeModelConfig,
         engine_kind: EngineKind,
         scfg: SchedulerConfig,
     ) -> Self {
+        Self::from_backend(
+            SingleGpuBackend::new(device, &config, engine_kind, &scfg),
+            scfg,
+        )
+    }
+}
+
+impl<B: ExecutionBackend> Scheduler<B> {
+    /// Build a scheduler over an arbitrary backend. The model being served
+    /// is the backend's own ([`ExecutionBackend::model`]) — the scheduler
+    /// holds no second copy that could disagree with the step pricing.
+    ///
+    /// # Panics
+    /// Panics if any [`BatchLimits`] field is zero: a zero limit can never
+    /// make progress (no admission, no prefill or no step tokens) and would
+    /// hang the simulation.
+    pub fn from_backend(backend: B, scfg: SchedulerConfig) -> Self {
         assert!(
             scfg.limits.max_running >= 1
                 && scfg.limits.max_batched_tokens >= 1
@@ -133,74 +156,33 @@ impl Scheduler {
             "every BatchLimits field must be at least 1, got {:?}",
             scfg.limits
         );
-        Self {
-            engine: Engine::new(engine_kind, device.clone()),
-            memory: MemoryModel::new(&device, engine_kind, &config),
-            device,
-            config,
-            scfg,
-        }
+        Self { backend, scfg }
     }
 
-    /// The memory model the scheduler admits against.
-    pub fn memory(&self) -> &MemoryModel {
-        &self.memory
+    /// The backend the scheduler drives.
+    pub fn backend(&self) -> &B {
+        &self.backend
     }
 
-    /// Predicted duration of one step over `batch`, given the running set.
-    fn step_time_ms(&self, batch: &StepBatch, running: &[RunningRequest], step_index: u64) -> f64 {
-        let step_tokens = batch.total_tokens();
-        let plan = TopKRouter::for_config(&self.config, self.scfg.routing_seed ^ step_index)
-            .route(step_tokens);
-        let moe_ms = self
-            .engine
-            .moe_layer_cost(&self.config, step_tokens, &plan)
-            .time_ms;
-
-        // Attention: prefill chunks pay the incremental causal-attention cost
-        // of extending their context; each decode token pays one pass over
-        // its request's KV cache.
-        let mut attention_ms = 0.0;
-        for &(i, chunk) in &batch.prefill {
-            let before = running[i].prefilled;
-            let after = (before + chunk).min(self.config.max_seq_len);
-            let inc = attention_time_ms(&self.device, &self.config, after, self.scfg.attention)
-                - attention_time_ms(
-                    &self.device,
-                    &self.config,
-                    before.max(1),
-                    self.scfg.attention,
-                );
-            attention_ms += inc.max(0.0);
-        }
-        let bandwidth = self.device.mem_bandwidth_gbps * 1e9;
-        for &i in &batch.decode {
-            let ctx = running[i].context_tokens().min(self.config.max_seq_len);
-            let kv_bytes = 2.0 * ctx as f64 * self.config.hidden_size as f64 * 2.0;
-            attention_ms += kv_bytes / bandwidth * 1e3 + 2.0e-3;
-        }
-
-        // Norms, residuals and the router GEMM, as in the decoder-layer model.
-        let h = self.config.hidden_size as f64;
-        let other_ms = 4.0 * step_tokens as f64 * h * 2.0 / bandwidth * 1e3 + 0.02;
-
-        (moe_ms + attention_ms + other_ms) * self.config.num_layers as f64
-            + self.scfg.step_overhead_ms
+    /// The memory budget the scheduler admits against.
+    pub fn memory(&self) -> &dyn MemoryBudget {
+        self.backend.memory()
     }
 
     /// Run the trace to completion and return the full simulation record.
     pub fn run(&self, trace: &[Request]) -> SimulationResult {
         let limits = self.scfg.limits;
+        let memory = self.backend.memory();
         let mut result = SimulationResult {
-            engine: self.engine.kind(),
+            engine: self.backend.engine_kind(),
             completed: Vec::new(),
             rejected: Vec::new(),
             admitted: 0,
             steps: Vec::new(),
             makespan_ms: 0.0,
             peak_memory_bytes: 0.0,
-            budget_bytes: self.memory.budget_bytes(),
-            supported: self.engine.supports(&self.config),
+            budget_bytes: memory.budget_bytes(),
+            supported: self.backend.supports(self.backend.model()),
         };
         if !result.supported {
             result.rejected = trace.to_vec();
@@ -223,7 +205,7 @@ impl Scheduler {
                     break;
                 }
                 let candidate = reserved_tokens + front.total_tokens();
-                if self.memory.fits(candidate, limits.max_batched_tokens) {
+                if memory.fits(candidate, limits.max_batched_tokens) {
                     let request = queue.pop_front().expect("front exists");
                     reserved_tokens = candidate;
                     result.admitted += 1;
@@ -252,7 +234,12 @@ impl Scheduler {
 
             let batch = build_step(&running, &limits);
             debug_assert!(!batch.is_empty(), "running set with no schedulable work");
-            let time_ms = self.step_time_ms(&batch, &running, step_index);
+            let cost = self.backend.step_cost(&StepWorkload {
+                batch: &batch,
+                running: &running,
+                step_index,
+            });
+            let time_ms = cost.total_ms();
             let start_ms = clock_ms;
             clock_ms += time_ms;
             step_index += 1;
@@ -296,11 +283,12 @@ impl Scheduler {
             // Account the step. KV during the step includes the tokens being
             // written, which the per-request reservations upper-bound.
             let kv_tokens: usize = running.iter().map(|r| r.context_tokens()).sum();
-            let memory_bytes = self.memory.footprint_bytes(kv_tokens, batch.total_tokens());
+            let memory_bytes = memory.footprint_bytes(kv_tokens, batch.total_tokens());
             result.peak_memory_bytes = result.peak_memory_bytes.max(memory_bytes);
             result.steps.push(StepRecord {
                 start_ms,
                 time_ms,
+                collective_ms: cost.collective_ms,
                 prefill_tokens: batch.prefill_tokens(),
                 decode_tokens: batch.decode.len(),
                 kv_tokens,

@@ -1,0 +1,326 @@
+//! Backend-equivalence suite: the `SingleGpuBackend`-driven scheduler must
+//! reproduce the pre-refactor scheduler bit for bit.
+//!
+//! `legacy` below is a frozen, line-for-line copy of the scheduler as it
+//! existed before the `ExecutionBackend` refactor (inline cost model,
+//! `TopKRouter` rebuilt every step, literal fp16 KV width). Running both on
+//! shared seeded traces and asserting exact `f64` equality proves the
+//! refactor moved the cost model without changing a single predicted
+//! number.
+
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+use samoyeds_serve::{Scheduler, SchedulerConfig, SimulationResult, TraceConfig};
+
+/// The pre-refactor scheduler, frozen for comparison.
+mod legacy {
+    use samoyeds_gpu_sim::DeviceSpec;
+    use samoyeds_moe::attention::attention_time_ms;
+    use samoyeds_moe::config::MoeModelConfig;
+    use samoyeds_moe::engines::{Engine, EngineKind};
+    use samoyeds_moe::router::TopKRouter;
+    use samoyeds_serve::batch::{build_step, StepBatch};
+    use samoyeds_serve::request::{CompletedRequest, Request, RunningRequest};
+    use samoyeds_serve::{MemoryModel, SchedulerConfig};
+    use std::collections::VecDeque;
+
+    pub struct LegacyResult {
+        pub completed: Vec<CompletedRequest>,
+        pub rejected: Vec<Request>,
+        pub admitted: usize,
+        pub step_times_ms: Vec<f64>,
+        pub step_memory_bytes: Vec<f64>,
+        pub makespan_ms: f64,
+        pub peak_memory_bytes: f64,
+        pub budget_bytes: f64,
+        pub supported: bool,
+    }
+
+    pub struct LegacyScheduler {
+        device: DeviceSpec,
+        config: MoeModelConfig,
+        engine: Engine,
+        memory: MemoryModel,
+        scfg: SchedulerConfig,
+    }
+
+    impl LegacyScheduler {
+        pub fn new(
+            device: DeviceSpec,
+            config: MoeModelConfig,
+            engine_kind: EngineKind,
+            scfg: SchedulerConfig,
+        ) -> Self {
+            Self {
+                engine: Engine::new(engine_kind, device.clone()),
+                memory: MemoryModel::new(&device, engine_kind, &config),
+                device,
+                config,
+                scfg,
+            }
+        }
+
+        /// Verbatim pre-refactor step cost: router rebuilt per step, literal
+        /// `2.0` fp16 KV byte width.
+        fn step_time_ms(
+            &self,
+            batch: &StepBatch,
+            running: &[RunningRequest],
+            step_index: u64,
+        ) -> f64 {
+            let step_tokens = batch.total_tokens();
+            let plan = TopKRouter::for_config(&self.config, self.scfg.routing_seed ^ step_index)
+                .route(step_tokens);
+            let moe_ms = self
+                .engine
+                .moe_layer_cost(&self.config, step_tokens, &plan)
+                .time_ms;
+
+            let mut attention_ms = 0.0;
+            for &(i, chunk) in &batch.prefill {
+                let before = running[i].prefilled;
+                let after = (before + chunk).min(self.config.max_seq_len);
+                let inc = attention_time_ms(&self.device, &self.config, after, self.scfg.attention)
+                    - attention_time_ms(
+                        &self.device,
+                        &self.config,
+                        before.max(1),
+                        self.scfg.attention,
+                    );
+                attention_ms += inc.max(0.0);
+            }
+            let bandwidth = self.device.mem_bandwidth_gbps * 1e9;
+            for &i in &batch.decode {
+                let ctx = running[i].context_tokens().min(self.config.max_seq_len);
+                let kv_bytes = 2.0 * ctx as f64 * self.config.hidden_size as f64 * 2.0;
+                attention_ms += kv_bytes / bandwidth * 1e3 + 2.0e-3;
+            }
+
+            let h = self.config.hidden_size as f64;
+            let other_ms = 4.0 * step_tokens as f64 * h * 2.0 / bandwidth * 1e3 + 0.02;
+
+            (moe_ms + attention_ms + other_ms) * self.config.num_layers as f64
+                + self.scfg.step_overhead_ms
+        }
+
+        /// Verbatim pre-refactor run loop.
+        pub fn run(&self, trace: &[Request]) -> LegacyResult {
+            let limits = self.scfg.limits;
+            let mut result = LegacyResult {
+                completed: Vec::new(),
+                rejected: Vec::new(),
+                admitted: 0,
+                step_times_ms: Vec::new(),
+                step_memory_bytes: Vec::new(),
+                makespan_ms: 0.0,
+                peak_memory_bytes: 0.0,
+                budget_bytes: self.memory.budget_bytes(),
+                supported: self.engine.supports(&self.config),
+            };
+            if !result.supported {
+                result.rejected = trace.to_vec();
+                return result;
+            }
+
+            let mut queue: VecDeque<Request> = trace.to_vec().into();
+            let mut running: Vec<RunningRequest> = Vec::new();
+            let mut reserved_tokens: usize = 0;
+            let mut clock_ms = 0.0f64;
+            let mut step_index = 0u64;
+
+            loop {
+                while running.len() < limits.max_running {
+                    let Some(front) = queue.front() else { break };
+                    if front.arrival_ms > clock_ms {
+                        break;
+                    }
+                    let candidate = reserved_tokens + front.total_tokens();
+                    if self.memory.fits(candidate, limits.max_batched_tokens) {
+                        let request = queue.pop_front().expect("front exists");
+                        reserved_tokens = candidate;
+                        result.admitted += 1;
+                        running.push(RunningRequest::new(request, clock_ms));
+                    } else if running.is_empty() {
+                        result
+                            .rejected
+                            .push(queue.pop_front().expect("front exists"));
+                    } else {
+                        break;
+                    }
+                }
+
+                if running.is_empty() {
+                    match queue.front() {
+                        None => break,
+                        Some(next) => {
+                            clock_ms = clock_ms.max(next.arrival_ms);
+                            continue;
+                        }
+                    }
+                }
+
+                let batch = build_step(&running, &limits);
+                let time_ms = self.step_time_ms(&batch, &running, step_index);
+                clock_ms += time_ms;
+                step_index += 1;
+
+                for &(i, chunk) in &batch.prefill {
+                    let r = &mut running[i];
+                    r.prefilled += chunk;
+                    if r.prefilled == r.request.prompt_len {
+                        r.decoded += 1;
+                        r.first_token_ms = Some(clock_ms);
+                    }
+                }
+                for &i in &batch.decode {
+                    let r = &mut running[i];
+                    r.decoded += 1;
+                    if r.first_token_ms.is_none() {
+                        r.first_token_ms = Some(clock_ms);
+                    }
+                }
+
+                let mut still_running = Vec::with_capacity(running.len());
+                for r in running.drain(..) {
+                    if r.decoded >= r.request.output_len {
+                        reserved_tokens -= r.request.total_tokens();
+                        result.completed.push(CompletedRequest {
+                            request: r.request,
+                            admitted_ms: r.admitted_ms,
+                            first_token_ms: r.first_token_ms.unwrap_or(clock_ms),
+                            finished_ms: clock_ms,
+                        });
+                    } else {
+                        still_running.push(r);
+                    }
+                }
+                running = still_running;
+
+                let kv_tokens: usize = running.iter().map(|r| r.context_tokens()).sum();
+                let memory_bytes = self.memory.footprint_bytes(kv_tokens, batch.total_tokens());
+                result.peak_memory_bytes = result.peak_memory_bytes.max(memory_bytes);
+                result.step_times_ms.push(time_ms);
+                result.step_memory_bytes.push(memory_bytes);
+
+                assert!(step_index < 10_000_000, "legacy step safety cap");
+            }
+
+            result.makespan_ms = clock_ms;
+            result
+        }
+    }
+}
+
+fn assert_exact_match(new: &SimulationResult, old: &legacy::LegacyResult) {
+    assert_eq!(new.supported, old.supported);
+    assert_eq!(new.admitted, old.admitted);
+    // Bit-exact f64 comparisons throughout: the refactor must not perturb a
+    // single floating-point operation.
+    assert_eq!(new.budget_bytes, old.budget_bytes);
+    assert_eq!(new.makespan_ms, old.makespan_ms);
+    assert_eq!(new.peak_memory_bytes, old.peak_memory_bytes);
+    assert_eq!(new.steps.len(), old.step_times_ms.len());
+    for (i, step) in new.steps.iter().enumerate() {
+        assert_eq!(step.time_ms, old.step_times_ms[i], "step {i} time");
+        assert_eq!(step.memory_bytes, old.step_memory_bytes[i], "step {i} mem");
+        assert_eq!(step.collective_ms, 0.0, "single GPU pays no collectives");
+    }
+    assert_eq!(new.completed.len(), old.completed.len());
+    for (n, o) in new.completed.iter().zip(old.completed.iter()) {
+        assert_eq!(n.request, o.request);
+        assert_eq!(n.admitted_ms, o.admitted_ms);
+        assert_eq!(n.first_token_ms, o.first_token_ms);
+        assert_eq!(n.finished_ms, o.finished_ms);
+    }
+    assert_eq!(new.rejected.len(), old.rejected.len());
+    for (n, o) in new.rejected.iter().zip(old.rejected.iter()) {
+        assert_eq!(n, o);
+    }
+}
+
+#[test]
+fn single_gpu_backend_reproduces_the_pre_refactor_scheduler_exactly() {
+    let traces = [
+        TraceConfig {
+            num_requests: 24,
+            arrival_rate_rps: 12.0,
+            prompt_len_range: (32, 256),
+            output_len_range: (4, 24),
+            seed: 7,
+        },
+        TraceConfig {
+            num_requests: 40,
+            arrival_rate_rps: 4.0,
+            prompt_len_range: (64, 512),
+            output_len_range: (16, 64),
+            seed: 42,
+        },
+    ];
+    let cases = [
+        (DeviceSpec::a100_40g(), MoeModelConfig::qwen2_moe()),
+        (DeviceSpec::a100_40g(), MoeModelConfig::deepseek_moe()),
+        (DeviceSpec::rtx4070_super(), MoeModelConfig::qwen2_moe()),
+    ];
+    for (device, model) in &cases {
+        for trace_cfg in &traces {
+            let trace = trace_cfg.generate();
+            for engine in [
+                EngineKind::Samoyeds,
+                EngineKind::Transformers,
+                EngineKind::VllmDs,
+            ] {
+                let scfg = SchedulerConfig::default();
+                let new = Scheduler::new(device.clone(), model.clone(), engine, scfg).run(&trace);
+                let old = legacy::LegacyScheduler::new(device.clone(), model.clone(), engine, scfg)
+                    .run(&trace);
+                assert_exact_match(&new, &old);
+            }
+        }
+    }
+}
+
+#[test]
+fn equivalence_holds_under_tight_limits_and_custom_seeds() {
+    use samoyeds_serve::BatchLimits;
+    let scfg = SchedulerConfig {
+        limits: BatchLimits {
+            max_batched_tokens: 96,
+            max_running: 3,
+            prefill_chunk: 48,
+        },
+        routing_seed: 1234,
+        ..SchedulerConfig::default()
+    };
+    let trace = TraceConfig {
+        num_requests: 20,
+        arrival_rate_rps: 20.0,
+        prompt_len_range: (16, 200),
+        output_len_range: (2, 12),
+        seed: 99,
+    }
+    .generate();
+    let device = DeviceSpec::a100_40g();
+    let model = MoeModelConfig::qwen2_moe();
+    let new = Scheduler::new(device.clone(), model.clone(), EngineKind::Samoyeds, scfg).run(&trace);
+    let old = legacy::LegacyScheduler::new(device, model, EngineKind::Samoyeds, scfg).run(&trace);
+    assert_exact_match(&new, &old);
+}
+
+#[test]
+fn unsupported_engines_reject_the_whole_trace_in_both_paths() {
+    // OpenMoE's ReLU activation is NS for vLLM-DS: both schedulers must
+    // reject everything without simulating a step.
+    let trace = TraceConfig {
+        num_requests: 5,
+        ..TraceConfig::default()
+    }
+    .generate();
+    let device = DeviceSpec::a100_40g();
+    let model = MoeModelConfig::openmoe_34b();
+    let scfg = SchedulerConfig::default();
+    let new = Scheduler::new(device.clone(), model.clone(), EngineKind::VllmDs, scfg).run(&trace);
+    let old = legacy::LegacyScheduler::new(device, model, EngineKind::VllmDs, scfg).run(&trace);
+    assert!(!new.supported);
+    assert_exact_match(&new, &old);
+}

@@ -6,9 +6,13 @@
 //! Run with `cargo run --release --example cluster [model]` where `model`
 //! is one of `qwen2` (default), `deepseek`, `mixtral`.
 
-use samoyeds::dist::{min_gpus_to_fit, render_placement_comparison, ClusterEngine, ClusterReport};
+use samoyeds::dist::{
+    min_gpus_to_fit, render_placement_comparison, ClusterBackend, ClusterConfig, ClusterEngine,
+    ClusterReport,
+};
 use samoyeds::gpu_sim::DeviceSpec;
 use samoyeds::moe::config::MoeModelConfig;
+use samoyeds::serve::{ExecutionBackend, SchedulerConfig};
 
 fn main() {
     let model = match std::env::args().nth(1).as_deref() {
@@ -47,4 +51,14 @@ fn main() {
     for line in render_placement_comparison(&model, &DeviceSpec::a100_40g(), 8, tokens, 1.5, 9) {
         println!("{line}");
     }
+
+    // The same pod is a serving substrate: ClusterBackend implements the
+    // scheduler's ExecutionBackend trait (see the cluster_serving example
+    // for the full continuous-batching sweep).
+    let backend = ClusterBackend::new(
+        ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds),
+        model,
+        &SchedulerConfig::default(),
+    );
+    println!("\nserving backend: {}", backend.describe());
 }

@@ -9,7 +9,7 @@
 use samoyeds::gpu_sim::DeviceSpec;
 use samoyeds::moe::config::MoeModelConfig;
 use samoyeds::moe::engines::EngineKind;
-use samoyeds::serve::{render_markdown, ServingSimulator, TraceConfig};
+use samoyeds::serve::{render_markdown, ExecutionBackend, ServingSimulator, TraceConfig};
 
 fn main() {
     let model = match std::env::args().nth(1).as_deref() {
@@ -39,6 +39,9 @@ fn main() {
     let engines = EngineKind::all();
     for device in [DeviceSpec::a100_40g(), DeviceSpec::rtx4070_super()] {
         let sim = ServingSimulator::new(device.clone(), model.clone()).with_trace(trace.clone());
+        // Every engine here is a SingleGpuBackend behind the scheduler's
+        // ExecutionBackend trait; swap in dist::ClusterBackend for a pod.
+        println!("backend: {}", sim.backend(EngineKind::Samoyeds).describe());
         let metrics = sim.compare(&engines);
         for line in render_markdown(&model.name, &device.name, &metrics) {
             println!("{line}");
