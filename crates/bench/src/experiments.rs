@@ -3,6 +3,7 @@
 use rayon::prelude::*;
 use samoyeds_dist::{
     render_fleet_sizing, render_placement_comparison, ClusterReport, ClusterServingReport,
+    FleetAutoscaleReport,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_kernels::autotune::{adapt_for_device, suggested_adaptation, Adaptation};
@@ -68,6 +69,13 @@ pub enum Experiment {
     /// against the straggler per-GPU budget and step times that include the
     /// dispatch/combine collectives.
     ClusterServing,
+    /// Beyond the paper: the online fleet control plane — heterogeneous
+    /// fleets (A100 pods next to consumer singles) served through
+    /// capability-aware dispatch with SLO-driven autoscaling on a bursty
+    /// (calm → spike → calm) trace; Samoyeds fleets absorb the spike with
+    /// fewer scale-out events than dense because each compressed replica
+    /// carries more load.
+    FleetAutoscale,
 }
 
 impl Experiment {
@@ -91,6 +99,7 @@ impl Experiment {
             Experiment::ServingSweep => "serving_sweep",
             Experiment::ClusterSweep => "cluster_sweep",
             Experiment::ClusterServing => "cluster_serving",
+            Experiment::FleetAutoscale => "fleet_autoscale",
         }
     }
 }
@@ -115,6 +124,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::ServingSweep,
         Experiment::ClusterSweep,
         Experiment::ClusterServing,
+        Experiment::FleetAutoscale,
     ]
 }
 
@@ -138,6 +148,7 @@ pub fn run_experiment(exp: Experiment) -> Vec<String> {
         Experiment::ServingSweep => serving_sweep(),
         Experiment::ClusterSweep => cluster_sweep(),
         Experiment::ClusterServing => cluster_serving(),
+        Experiment::FleetAutoscale => fleet_autoscale(),
     }
 }
 
@@ -793,6 +804,29 @@ pub fn cluster_serving() -> Vec<String> {
     rows
 }
 
+/// Beyond the paper: the online fleet control plane on a bursty trace. One
+/// calm → spike → calm request trace is served by heterogeneous fleets
+/// (homogeneous A100 Samoyeds/dense singles, and a mixed A100-pod + 4070S
+/// fleet) under SLO targets × dispatch policies; the report shows the
+/// SLO-driven autoscaler scaling out during the spike and back in
+/// afterwards, with Samoyeds fleets needing fewer scale-outs than dense —
+/// the paper's fleet-sizing claim, restated in time instead of GPU count.
+pub fn fleet_autoscale() -> Vec<String> {
+    let model = MoeModelConfig::qwen2_moe();
+    let trace = FleetAutoscaleReport::demo_trace();
+    let report = FleetAutoscaleReport::sweep(&model, &trace, &SchedulerConfig::default());
+    let mut rows = report.render_markdown();
+    rows.push(String::new());
+    match report.scale_out_contrast() {
+        Some((samoyeds, dense)) => rows.push(format!(
+            "-> scale-out contrast at the tight SLO: Samoyeds singles absorb the spike \
+             with {samoyeds} scale-outs where dense singles need {dense}"
+        )),
+        None => rows.push("-> no scale-out contrast cell in this sweep".to_string()),
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -812,7 +846,22 @@ mod tests {
             let rows = run_experiment(exp);
             assert!(rows.len() >= 3, "{} rows {}", exp.id(), rows.len());
         }
-        assert_eq!(all_experiments().len(), 17);
+        assert_eq!(all_experiments().len(), 18);
+    }
+
+    #[test]
+    fn fleet_autoscale_report_contains_the_scale_out_contrast() {
+        let rows = fleet_autoscale();
+        // All 18 sweep cells render, plus the headline line.
+        assert!(rows.len() >= 3 + 18 + 2, "{} rows", rows.len());
+        // Text unique to the Some branch of the headline, so a sweep that
+        // loses the contrast cell fails here instead of matching the
+        // "no scale-out contrast" fallback.
+        assert!(
+            rows.iter().any(|r| r.contains("absorb the spike")),
+            "{rows:?}"
+        );
+        assert!(rows.iter().any(|r| r.contains("A100 pod + 4070S")));
     }
 
     #[test]

@@ -27,7 +27,8 @@ use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
 use samoyeds_moe::router::TopKRouter;
 use samoyeds_serve::backend::{
-    attention_step_ms, auxiliary_step_ms, ExecutionBackend, MemoryBudget, StepCost, StepWorkload,
+    attention_step_ms, auxiliary_step_ms, ExecutionBackend, MemoryBudget, OverlapModel, StepCost,
+    StepWorkload,
 };
 use samoyeds_serve::SchedulerConfig;
 
@@ -107,6 +108,7 @@ pub struct ClusterBackend {
     attention: AttentionKind,
     routing_seed: u64,
     step_overhead_ms: f64,
+    overlap: OverlapModel,
 }
 
 impl ClusterBackend {
@@ -122,7 +124,23 @@ impl ClusterBackend {
             attention: scfg.attention,
             routing_seed: scfg.routing_seed,
             step_overhead_ms: scfg.step_overhead_ms,
+            overlap: OverlapModel::Serial,
         }
+    }
+
+    /// Replace the compute/all-to-all overlap model (default:
+    /// [`OverlapModel::Serial`], the fully-synchronous step).
+    /// [`OverlapModel::Pipelined`] models DeepSpeed-MoE-style pipelined
+    /// dispatch: each step's duration blends to
+    /// `max(compute_ms, collective_ms)` instead of their sum.
+    pub fn with_overlap(mut self, overlap: OverlapModel) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// The configured overlap model.
+    pub fn overlap(&self) -> OverlapModel {
+        self.overlap
     }
 
     /// The cluster simulator pricing the MoE steps.
@@ -221,6 +239,7 @@ impl ExecutionBackend for ClusterBackend {
             compute_ms: (report.straggler_ms() + attention_ms + other_ms) * layers
                 + self.step_overhead_ms,
             collective_ms: report.all_to_all_ms * layers,
+            overlap: self.overlap,
         }
     }
 
@@ -311,6 +330,58 @@ mod tests {
         let samoyeds = run(ClusterEngine::Samoyeds);
         assert_eq!(samoyeds.completed.len(), trace.len());
         assert!(samoyeds.rejected.is_empty());
+    }
+
+    #[test]
+    fn pipelined_overlap_blends_to_the_max_of_compute_and_collectives() {
+        use samoyeds_serve::backend::StepWorkload;
+        use samoyeds_serve::batch::{build_step, BatchLimits};
+        use samoyeds_serve::request::{Request, RunningRequest};
+
+        // A PCIe pod makes the collective share substantial, so the blend
+        // is visibly different from the sum.
+        let cluster = ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds)
+            .with_link(crate::link::LinkSpec::pcie_gen4());
+        let scfg = SchedulerConfig::default();
+        let serial = ClusterBackend::new(cluster.clone(), MoeModelConfig::qwen2_moe(), &scfg);
+        let pipelined = ClusterBackend::new(cluster, MoeModelConfig::qwen2_moe(), &scfg)
+            .with_overlap(samoyeds_serve::OverlapModel::Pipelined);
+        assert_eq!(pipelined.overlap(), samoyeds_serve::OverlapModel::Pipelined);
+
+        let running = vec![RunningRequest::new(
+            Request {
+                id: 0,
+                arrival_ms: 0.0,
+                prompt_len: 512,
+                output_len: 8,
+            },
+            0.0,
+        )];
+        let batch = build_step(&running, &BatchLimits::default());
+        let workload = StepWorkload {
+            batch: &batch,
+            running: &running,
+            step_index: 0,
+        };
+        let s = serial.step_cost(&workload);
+        let p = pipelined.step_cost(&workload);
+        // Identical components, different blend: the pinned overlap law.
+        assert_eq!(s.compute_ms, p.compute_ms);
+        assert_eq!(s.collective_ms, p.collective_ms);
+        assert!(s.collective_ms > 0.0);
+        assert_eq!(s.total_ms(), s.compute_ms + s.collective_ms);
+        assert_eq!(p.total_ms(), p.compute_ms.max(p.collective_ms));
+        assert!(p.total_ms() < s.total_ms());
+
+        // End to end, the pipelined pod drains the same trace no slower.
+        let trace = small_trace().generate();
+        let t_serial = Scheduler::from_backend(serial, scfg)
+            .run(&trace)
+            .makespan_ms;
+        let t_pipelined = Scheduler::from_backend(pipelined, scfg)
+            .run(&trace)
+            .makespan_ms;
+        assert!(t_pipelined < t_serial, "{t_pipelined} vs {t_serial}");
     }
 
     #[test]

@@ -62,5 +62,5 @@ pub use link::LinkSpec;
 pub use placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, PlacementStrategy};
 pub use report::{
     render_fleet_sizing, render_placement_comparison, ClusterReport, ClusterServingEntry,
-    ClusterServingReport,
+    ClusterServingReport, FleetAutoscaleEntry, FleetAutoscaleReport, FleetKind,
 };

@@ -1,6 +1,7 @@
 //! Cluster-level comparison reports: GPU-count sweeps over the weight
-//! representations and the cluster-serving sweep (continuous batching over
-//! the cluster backend), rendered as markdown.
+//! representations, the cluster-serving sweep (continuous batching over the
+//! cluster backend) and the fleet-autoscale sweep (the online control plane
+//! over heterogeneous fleets on a bursty trace), rendered as markdown.
 
 use crate::backend::ClusterBackend;
 use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
@@ -8,8 +9,13 @@ use crate::link::LinkSpec;
 use crate::placement::{ClusterEngine, PlacementStrategy};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
 use samoyeds_moe::router::TopKRouter;
-use samoyeds_serve::{Scheduler, SchedulerConfig, ServingMetrics, TraceConfig};
+use samoyeds_serve::{
+    BurstyTraceConfig, DispatchPolicy, ExecutionBackend, FleetConfig, FleetController,
+    FleetMetrics, Scheduler, SchedulerConfig, ServingMetrics, SingleGpuBackend, SloAutoscaler,
+    TraceConfig,
+};
 
 /// One (device, engine, GPU-count) cell of the sweep.
 #[derive(Debug, Clone)]
@@ -345,6 +351,241 @@ impl ClusterServingReport {
     }
 }
 
+/// The fleet compositions the autoscale sweep compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetKind {
+    /// Homogeneous A100 singles running the Samoyeds engine.
+    SamoyedsSingles,
+    /// Homogeneous A100 singles running dense (Transformers) weights.
+    DenseSingles,
+    /// Heterogeneous: a 2x A100 expert-parallel Samoyeds pod next to an RTX
+    /// 4070 Super single; scale-out adds more consumer singles.
+    Mixed,
+}
+
+impl FleetKind {
+    /// All compositions, in report order.
+    pub fn all() -> [FleetKind; 3] {
+        [
+            FleetKind::SamoyedsSingles,
+            FleetKind::DenseSingles,
+            FleetKind::Mixed,
+        ]
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FleetKind::SamoyedsSingles => "A100 Samoyeds singles",
+            FleetKind::DenseSingles => "A100 dense singles",
+            FleetKind::Mixed => "A100 pod + 4070S (Samoyeds)",
+        }
+    }
+
+    /// Build the control plane for this composition: the initial fleet plus
+    /// the factory scale-out draws from.
+    pub fn controller(
+        &self,
+        model: &MoeModelConfig,
+        config: FleetConfig,
+        slo: &SloAutoscaler,
+    ) -> FleetController {
+        let scfg = config.scheduler;
+        let single = move |device: DeviceSpec, engine: EngineKind, model: &MoeModelConfig| {
+            Box::new(SingleGpuBackend::new(device, model, engine, &scfg))
+                as Box<dyn ExecutionBackend>
+        };
+        let controller = FleetController::new(config).with_autoscaler(slo.clone());
+        match self {
+            FleetKind::SamoyedsSingles => {
+                let factory_model = model.clone();
+                controller
+                    .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, model))
+                    .with_factory(move || {
+                        single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &factory_model)
+                    })
+            }
+            FleetKind::DenseSingles => {
+                let factory_model = model.clone();
+                controller
+                    .with_replica(single(
+                        DeviceSpec::a100_40g(),
+                        EngineKind::Transformers,
+                        model,
+                    ))
+                    .with_factory(move || {
+                        single(
+                            DeviceSpec::a100_40g(),
+                            EngineKind::Transformers,
+                            &factory_model,
+                        )
+                    })
+            }
+            FleetKind::Mixed => {
+                let pod = ClusterBackend::new(
+                    ClusterConfig::new(DeviceSpec::a100_40g(), 2, ClusterEngine::Samoyeds),
+                    model.clone(),
+                    &scfg,
+                );
+                let factory_model = model.clone();
+                controller
+                    .with_replica(Box::new(pod))
+                    .with_replica(single(
+                        DeviceSpec::rtx4070_super(),
+                        EngineKind::Samoyeds,
+                        model,
+                    ))
+                    .with_factory(move || {
+                        single(
+                            DeviceSpec::rtx4070_super(),
+                            EngineKind::Samoyeds,
+                            &factory_model,
+                        )
+                    })
+            }
+        }
+    }
+}
+
+/// One (fleet, policy, SLO) cell of the autoscale sweep.
+#[derive(Debug, Clone)]
+pub struct FleetAutoscaleEntry {
+    /// Fleet composition.
+    pub fleet: FleetKind,
+    /// Dispatch policy.
+    pub policy: DispatchPolicy,
+    /// The p95-TTFT SLO target, milliseconds.
+    pub slo_ms: f64,
+    /// The run's fleet metrics, including the scaling timeline.
+    pub metrics: FleetMetrics,
+}
+
+/// The fleet-autoscale sweep: one shared bursty (calm → spike → calm) trace
+/// served by the online control plane under every combination of fleet
+/// composition × dispatch policy × SLO target. The headline is fleet
+/// sizing *in time*: under the same SLO, Samoyeds fleets absorb the spike
+/// with fewer scale-out events than dense, because each compressed replica
+/// has more serving capacity.
+#[derive(Debug, Clone)]
+pub struct FleetAutoscaleReport {
+    /// The model served.
+    pub model: String,
+    /// Requests in the shared trace.
+    pub num_requests: usize,
+    /// All sweep cells, in (fleet, policy, slo) order.
+    pub entries: Vec<FleetAutoscaleEntry>,
+}
+
+impl FleetAutoscaleReport {
+    /// The canonical calm → spike → calm demonstration trace: the numbers
+    /// behind the pinned scale-out contrast (Samoyeds fleets absorbing the
+    /// spike with fewer scale-outs than dense) — shared by the bench
+    /// experiment, the `fleet_autoscale` example and the report tests so
+    /// they can never drift apart.
+    pub fn demo_trace() -> BurstyTraceConfig {
+        BurstyTraceConfig {
+            prompt_len_range: (64, 256),
+            output_len_range: (16, 48),
+            seed: 17,
+            ..BurstyTraceConfig::spike(2.0, 300.0, 6, 80)
+        }
+    }
+
+    /// Run the sweep over `trace` with the fleet knobs used everywhere in
+    /// the autoscale story (200 ms ticks, 1 s window, 1.5 s warm-up, at
+    /// most 6 replicas; the mixed fleet keeps a floor of two replicas).
+    pub fn sweep(
+        model: &MoeModelConfig,
+        trace: &BurstyTraceConfig,
+        scfg: &SchedulerConfig,
+    ) -> Self {
+        let requests = trace.generate();
+        let slos = [400.0f64, 1_500.0];
+        let policies = [
+            DispatchPolicy::least_outstanding(),
+            DispatchPolicy::RoundRobin,
+            DispatchPolicy::LeastOutstandingTokensFrozen,
+        ];
+        let mut entries = Vec::new();
+        for fleet in FleetKind::all() {
+            for policy in policies {
+                for slo_ms in slos {
+                    let config = FleetConfig {
+                        scheduler: *scfg,
+                        policy,
+                        tick_ms: 200.0,
+                        window_ms: 1_000.0,
+                        warmup_ms: 1_500.0,
+                        min_replicas: if fleet == FleetKind::Mixed { 2 } else { 1 },
+                        max_replicas: 6,
+                    };
+                    let controller = fleet.controller(model, config, &SloAutoscaler::new(slo_ms));
+                    entries.push(FleetAutoscaleEntry {
+                        fleet,
+                        policy,
+                        slo_ms,
+                        metrics: controller.run(&requests),
+                    });
+                }
+            }
+        }
+        Self {
+            model: model.name.clone(),
+            num_requests: requests.len(),
+            entries,
+        }
+    }
+
+    /// The headline contrast: scale-out counts of the Samoyeds vs dense
+    /// homogeneous fleets at the tightest SLO under the decaying
+    /// least-outstanding policy, if both cells exist.
+    pub fn scale_out_contrast(&self) -> Option<(usize, usize)> {
+        let cell = |kind: FleetKind| {
+            self.entries
+                .iter()
+                .filter(|e| {
+                    e.fleet == kind
+                        && matches!(e.policy, DispatchPolicy::LeastOutstandingTokens { .. })
+                })
+                .min_by(|a, b| a.slo_ms.partial_cmp(&b.slo_ms).expect("finite SLOs"))
+                .map(|e| e.metrics.scale_outs())
+        };
+        Some((
+            cell(FleetKind::SamoyedsSingles)?,
+            cell(FleetKind::DenseSingles)?,
+        ))
+    }
+
+    /// Render the sweep as a markdown table.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mut rows = vec![
+            format!(
+                "Fleet autoscale: {} ({} requests, bursty trace, online control plane)",
+                self.model, self.num_requests
+            ),
+            "| Fleet | Policy | SLO ms | Served | Rejected | tok/s | TTFT p95 ms | Peak replicas | Scale-outs | Scale-ins |"
+                .to_string(),
+            "|---|---|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            rows.push(format!(
+                "| {} | {} | {:.0} | {} | {} | {:.0} | {:.0} | {} | {} | {} |",
+                e.fleet.name(),
+                e.policy.name(),
+                e.slo_ms,
+                e.metrics.completed,
+                e.metrics.rejected,
+                e.metrics.output_tokens_per_s,
+                e.metrics.ttft.p95_ms,
+                e.metrics.replicas,
+                e.metrics.scale_outs(),
+                e.metrics.scale_ins(),
+            ));
+        }
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -438,6 +679,82 @@ mod tests {
         assert_eq!(share("A100", "NVLink", 1), 0.0);
         assert!(share("A100", "NVLink", 4) > 0.0);
         assert!(share("A100", "PCIe", 4) > share("A100", "NVLink", 4));
+    }
+
+    fn autoscale_fixture() -> FleetAutoscaleReport {
+        FleetAutoscaleReport::sweep(
+            &MoeModelConfig::qwen2_moe(),
+            &FleetAutoscaleReport::demo_trace(),
+            &SchedulerConfig::default(),
+        )
+    }
+
+    #[test]
+    fn autoscale_sweep_shows_samoyeds_absorbing_the_spike_with_fewer_scale_outs() {
+        let report = autoscale_fixture();
+        // 3 fleets x 3 policies x 2 SLOs.
+        assert_eq!(report.entries.len(), 18);
+        // Every cell conserves the trace.
+        for e in &report.entries {
+            assert_eq!(
+                e.metrics.completed + e.metrics.rejected,
+                report.num_requests,
+                "{} {} {}",
+                e.fleet.name(),
+                e.policy.name(),
+                e.slo_ms
+            );
+            assert_eq!(e.metrics.rejected, 0);
+        }
+        // The headline: at the tight SLO, the dense fleet needs more
+        // scale-outs than the Samoyeds fleet to absorb the same spike.
+        let (samoyeds, dense) = report.scale_out_contrast().expect("both cells exist");
+        assert!(
+            samoyeds < dense,
+            "samoyeds {samoyeds} scale-outs vs dense {dense}"
+        );
+        let rows = report.render_markdown();
+        assert!(rows.len() >= 3 + 18);
+        assert!(rows.iter().any(|r| r.contains("A100 pod + 4070S")));
+    }
+
+    #[test]
+    fn mixed_fleet_scales_out_on_breach_and_back_in_with_a_timeline() {
+        let report = autoscale_fixture();
+        let mixed = report
+            .entries
+            .iter()
+            .find(|e| {
+                e.fleet == FleetKind::Mixed
+                    && e.slo_ms == 400.0
+                    && matches!(e.policy, DispatchPolicy::LeastOutstandingTokens { .. })
+            })
+            .expect("mixed cell exists");
+        let m = &mixed.metrics;
+        // The heterogeneous pair is the floor; the burst pushes past it and
+        // the fleet comes back down afterwards.
+        assert!(m.scale_outs() >= 1, "{:?}", m.scale_events);
+        assert!(m.scale_ins() >= 1, "{:?}", m.scale_events);
+        assert!(m.replicas > 2);
+        let first_out = m
+            .scale_events
+            .iter()
+            .find(|e| e.kind == samoyeds_serve::ScaleKind::Out)
+            .expect("scale-out happened");
+        assert!(m
+            .scale_events
+            .iter()
+            .any(|e| e.kind == samoyeds_serve::ScaleKind::In && e.at_ms > first_out.at_ms));
+        for e in &m.scale_events {
+            assert!(e.replicas_after >= 2, "floor violated: {e:?}");
+        }
+        // Both device classes took traffic.
+        assert!(m.per_replica[0].description.contains("cluster 2x"));
+        assert!(m.per_replica[1].description.contains("4070"));
+        assert!(m.per_replica[0].assigned > 0);
+        assert!(m.per_replica[1].assigned > 0);
+        // The timeline renders with one row per event.
+        assert_eq!(m.render_timeline().len(), 2 + m.scale_events.len());
     }
 
     #[test]

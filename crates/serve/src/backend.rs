@@ -27,6 +27,7 @@ use samoyeds_moe::attention::{attention_time_ms, AttentionKind};
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::{Engine, EngineKind};
 use samoyeds_moe::router::TopKRouter;
+use serde::{Deserialize, Serialize};
 
 /// The memory-accounting surface admission control needs: a budget and a
 /// footprint. For a single GPU the footprint is the whole model; for a
@@ -70,6 +71,41 @@ impl StepWorkload<'_> {
     }
 }
 
+/// How a backend overlaps compute with the inter-GPU collectives when
+/// pricing a step's total duration.
+///
+/// The fully-synchronous step pays `compute + collective`; a pipelined
+/// dispatch (the DeepSpeed-MoE style overlap the ROADMAP names) hides the
+/// shorter of the two behind the longer, so the step pays
+/// `max(compute, collective)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum OverlapModel {
+    /// Compute and collectives serialize: `total = compute + collective`.
+    #[default]
+    Serial,
+    /// Compute and collectives overlap perfectly:
+    /// `total = max(compute, collective)`.
+    Pipelined,
+}
+
+impl OverlapModel {
+    /// Blend a compute time and a collective time into a step duration.
+    pub fn blend_ms(&self, compute_ms: f64, collective_ms: f64) -> f64 {
+        match self {
+            OverlapModel::Serial => compute_ms + collective_ms,
+            OverlapModel::Pipelined => compute_ms.max(collective_ms),
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OverlapModel::Serial => "serial",
+            OverlapModel::Pipelined => "pipelined",
+        }
+    }
+}
+
 /// Predicted cost of one engine step, split into the part spent computing
 /// and the part spent in inter-GPU collectives (zero on a single GPU).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -78,6 +114,8 @@ pub struct StepCost {
     pub compute_ms: f64,
     /// All-to-all dispatch/combine time across the step's layers, ms.
     pub collective_ms: f64,
+    /// How the two components combine into the step duration.
+    pub overlap: OverlapModel,
 }
 
 impl StepCost {
@@ -86,12 +124,28 @@ impl StepCost {
         Self {
             compute_ms,
             collective_ms: 0.0,
+            overlap: OverlapModel::Serial,
         }
     }
 
-    /// Total step duration.
+    /// A fully-synchronous compute + collective cost.
+    pub fn serial(compute_ms: f64, collective_ms: f64) -> Self {
+        Self {
+            compute_ms,
+            collective_ms,
+            overlap: OverlapModel::Serial,
+        }
+    }
+
+    /// Replace the overlap model.
+    pub fn with_overlap(mut self, overlap: OverlapModel) -> Self {
+        self.overlap = overlap;
+        self
+    }
+
+    /// Total step duration under the cost's overlap model.
     pub fn total_ms(&self) -> f64 {
-        self.compute_ms + self.collective_ms
+        self.overlap.blend_ms(self.compute_ms, self.collective_ms)
     }
 }
 
@@ -120,6 +174,47 @@ pub trait ExecutionBackend {
 
     /// Human-readable one-line description for reports.
     fn describe(&self) -> String;
+}
+
+// `ExecutionBackend` is object-safe, and the delegating impls below make
+// both borrowed and boxed trait objects first-class backends: the scheduler,
+// the replica driver and the fleet controller can hold
+// `Box<dyn ExecutionBackend>` replicas (an A100 pod next to a consumer-GPU
+// single) without a monomorphic type parameter.
+macro_rules! delegate_execution_backend {
+    () => {
+        fn engine_kind(&self) -> EngineKind {
+            (**self).engine_kind()
+        }
+
+        fn model(&self) -> &MoeModelConfig {
+            (**self).model()
+        }
+
+        fn supports(&self, config: &MoeModelConfig) -> bool {
+            (**self).supports(config)
+        }
+
+        fn memory(&self) -> &dyn MemoryBudget {
+            (**self).memory()
+        }
+
+        fn step_cost(&self, workload: &StepWorkload<'_>) -> StepCost {
+            (**self).step_cost(workload)
+        }
+
+        fn describe(&self) -> String {
+            (**self).describe()
+        }
+    };
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for &B {
+    delegate_execution_backend!();
+}
+
+impl<B: ExecutionBackend + ?Sized> ExecutionBackend for Box<B> {
+    delegate_execution_backend!();
 }
 
 /// Incremental attention cost of one layer over the step: prefill chunks pay
@@ -351,5 +446,38 @@ mod tests {
     fn vllm_backend_reports_ns_for_relu_models() {
         let backend = backend(EngineKind::VllmDs);
         assert!(!backend.supports(&MoeModelConfig::openmoe_34b()));
+    }
+
+    #[test]
+    fn overlap_model_blends_serial_sum_and_pipelined_max() {
+        let cost = StepCost::serial(3.0, 2.0);
+        assert_eq!(cost.total_ms(), 5.0);
+        let pipelined = cost.with_overlap(OverlapModel::Pipelined);
+        assert_eq!(pipelined.total_ms(), 3.0);
+        // The pipelined step is bounded below by the longer component.
+        let collective_bound = StepCost::serial(1.0, 4.0).with_overlap(OverlapModel::Pipelined);
+        assert_eq!(collective_bound.total_ms(), 4.0);
+        assert_eq!(OverlapModel::default(), OverlapModel::Serial);
+    }
+
+    #[test]
+    fn backend_works_as_a_boxed_trait_object() {
+        let boxed: Box<dyn ExecutionBackend> = Box::new(backend(EngineKind::Samoyeds));
+        assert_eq!(boxed.engine_kind(), EngineKind::Samoyeds);
+        assert!(boxed.supports(boxed.model()));
+        assert!(boxed.memory().can_hold_model());
+        let (running, batch) = workload_fixture();
+        let workload = StepWorkload {
+            batch: &batch,
+            running: &running,
+            step_index: 3,
+        };
+        // The boxed and borrowed views price identically to the concrete
+        // backend.
+        let concrete = backend(EngineKind::Samoyeds).step_cost(&workload);
+        assert_eq!(boxed.step_cost(&workload), concrete);
+        let by_ref: &dyn ExecutionBackend = &*boxed;
+        assert_eq!(by_ref.step_cost(&workload), concrete);
+        assert_eq!(boxed.describe(), by_ref.describe());
     }
 }

@@ -1,17 +1,17 @@
-//! Multi-replica request dispatch: the front door of a data-parallel fleet.
+//! Offline multi-replica request dispatch — the *compatibility shim* over
+//! the online control plane in [`fleet`](crate::fleet).
 //!
-//! When one serving replica cannot absorb the offered load, serving systems
-//! run several identical replicas behind a dispatcher. This module splits a
-//! request trace across `n` replicas under a dispatch policy and simulates
-//! each replica independently with the continuous-batching scheduler; the
-//! fleet metrics aggregate per-replica results (throughput sums, latency
-//! samples pool). The fleet is generic over the
-//! [`ExecutionBackend`](crate::backend::ExecutionBackend), so a replica can
-//! be one GPU ([`SingleGpuBackend`]) or a whole expert-parallel pod
-//! (`ClusterBackend` in `samoyeds-dist`) without changing the dispatcher.
+//! [`dispatch_trace`] splits a request trace across `n` replicas ahead of
+//! time and [`ReplicaFleet`] simulates each shard independently; both
+//! predate the online [`FleetController`](crate::fleet::FleetController) and
+//! are kept (with frozen default behavior) so existing sweeps reproduce bit
+//! for bit — the `fleet_equivalence` suite pins this. New code that wants
+//! heterogeneous replicas, capability-aware routing or autoscaling should
+//! use the fleet controller; this module remains the static, identical-
+//! replica fast path.
 
 use crate::backend::{ExecutionBackend, SingleGpuBackend};
-use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
+use crate::fleet::FleetMetrics;
 use crate::request::Request;
 use crate::scheduler::{Scheduler, SchedulerConfig, SimulationResult};
 use samoyeds_gpu_sim::DeviceSpec;
@@ -19,14 +19,44 @@ use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
 use serde::{Deserialize, Serialize};
 
-/// How the dispatcher picks a replica for each arriving request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// How a dispatcher picks a replica for each arriving request.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DispatchPolicy {
     /// Strict rotation in arrival order.
     RoundRobin,
-    /// Each request goes to the replica with the fewest outstanding tokens
-    /// (prompt + output of everything already assigned to it).
-    LeastOutstandingTokens,
+    /// Each request goes to the replica with the fewest outstanding tokens.
+    /// Offline ([`dispatch_trace`]) the per-replica counts decay between
+    /// arrivals by estimated completion at `drain_tokens_per_s`, so late
+    /// requests no longer see stale load; online
+    /// ([`FleetController`](crate::fleet::FleetController)) the counts are
+    /// the replicas' *live* remaining work and the rate is ignored.
+    LeastOutstandingTokens {
+        /// Estimated per-replica drain rate used by the offline decay.
+        drain_tokens_per_s: f64,
+    },
+    /// The pre-redesign accumulate-forever counter, frozen for the
+    /// compatibility shim (and as a baseline in the autoscale sweeps).
+    LeastOutstandingTokensFrozen,
+}
+
+impl DispatchPolicy {
+    /// The decaying least-outstanding policy at its default drain-rate
+    /// estimate (2000 tokens/s, the right order for the serving traces the
+    /// sweeps use).
+    pub fn least_outstanding() -> Self {
+        DispatchPolicy::LeastOutstandingTokens {
+            drain_tokens_per_s: 2_000.0,
+        }
+    }
+
+    /// Human-readable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DispatchPolicy::RoundRobin => "round-robin",
+            DispatchPolicy::LeastOutstandingTokens { .. } => "least-outstanding",
+            DispatchPolicy::LeastOutstandingTokensFrozen => "least-outstanding (frozen)",
+        }
+    }
 }
 
 /// Split `trace` (in arrival order) across `replicas` queues under `policy`.
@@ -48,7 +78,27 @@ pub fn dispatch_trace(
                 shards[i % replicas].push(*r);
             }
         }
-        DispatchPolicy::LeastOutstandingTokens => {
+        DispatchPolicy::LeastOutstandingTokens { drain_tokens_per_s } => {
+            let mut outstanding = vec![0.0f64; replicas];
+            let mut last_ms = 0.0f64;
+            for r in trace {
+                let gap_s = ((r.arrival_ms - last_ms) / 1e3).max(0.0);
+                last_ms = r.arrival_ms;
+                for o in &mut outstanding {
+                    *o = (*o - drain_tokens_per_s * gap_s).max(0.0);
+                }
+                let target = (0..replicas)
+                    .min_by(|&a, &b| {
+                        outstanding[a]
+                            .partial_cmp(&outstanding[b])
+                            .expect("outstanding counts are finite")
+                    })
+                    .expect("replicas >= 1");
+                outstanding[target] += r.total_tokens() as f64;
+                shards[target].push(*r);
+            }
+        }
+        DispatchPolicy::LeastOutstandingTokensFrozen => {
             let mut outstanding = vec![0usize; replicas];
             for r in trace {
                 let target = (0..replicas)
@@ -62,33 +112,8 @@ pub fn dispatch_trace(
     shards
 }
 
-/// Aggregate serving metrics of a replica fleet.
-#[derive(Debug, Clone)]
-pub struct FleetMetrics {
-    /// The engine every replica runs.
-    pub engine: EngineKind,
-    /// Number of replicas.
-    pub replicas: usize,
-    /// Completed requests across the fleet.
-    pub completed: usize,
-    /// Rejected requests across the fleet.
-    pub rejected: usize,
-    /// Fleet output-token throughput (tokens/s over the fleet makespan).
-    pub output_tokens_per_s: f64,
-    /// Pooled end-to-end request latency distribution.
-    pub request_latency: LatencySummary,
-    /// Pooled time-to-first-token distribution.
-    pub ttft: LatencySummary,
-    /// Pooled per-output-token latency distribution.
-    pub tpot: LatencySummary,
-    /// Fleet makespan (slowest replica).
-    pub makespan_ms: f64,
-    /// Per-replica metrics, in replica order.
-    pub per_replica: Vec<ServingMetrics>,
-}
-
-/// A fleet of identical serving replicas behind a dispatcher. Each replica
-/// is one clone of the fleet's execution backend.
+/// A fleet of identical serving replicas behind an offline dispatcher. Each
+/// replica is one clone of the fleet's execution backend.
 #[derive(Debug, Clone)]
 pub struct ReplicaFleet<B: ExecutionBackend + Clone = SingleGpuBackend> {
     backend: B,
@@ -128,7 +153,10 @@ impl ReplicaFleet<SingleGpuBackend> {
 }
 
 impl<B: ExecutionBackend + Clone> ReplicaFleet<B> {
-    /// Build a fleet of `replicas` clones of `backend`.
+    /// Build a fleet of `replicas` clones of `backend`. The default policy
+    /// is the *frozen* least-outstanding dispatcher — this type is the
+    /// compatibility shim, so its defaults reproduce the pre-redesign
+    /// numbers exactly.
     ///
     /// # Panics
     /// Panics if `replicas` is zero.
@@ -137,7 +165,7 @@ impl<B: ExecutionBackend + Clone> ReplicaFleet<B> {
         Self {
             backend,
             replicas,
-            policy: DispatchPolicy::LeastOutstandingTokens,
+            policy: DispatchPolicy::LeastOutstandingTokensFrozen,
             scheduler,
         }
     }
@@ -158,49 +186,44 @@ impl<B: ExecutionBackend + Clone> ReplicaFleet<B> {
         &self.backend
     }
 
-    /// Simulate every replica on its dispatched shard of `trace`.
-    pub fn simulate(&self, trace: &[Request]) -> Vec<SimulationResult> {
-        dispatch_trace(trace, self.replicas, self.policy)
+    /// Dispatch `trace` into shards and run one scheduler per shard — the
+    /// single execution path both [`Self::simulate`] and [`Self::metrics`]
+    /// share.
+    fn shard_and_run(&self, trace: &[Request]) -> (Vec<Vec<Request>>, Vec<SimulationResult>) {
+        let shards = dispatch_trace(trace, self.replicas, self.policy);
+        let results = shards
             .iter()
             .map(|shard| Scheduler::from_backend(self.backend.clone(), self.scheduler).run(shard))
-            .collect()
+            .collect();
+        (shards, results)
     }
 
-    /// Simulate the fleet and aggregate its metrics.
+    /// Simulate every replica on its dispatched shard of `trace`.
+    pub fn simulate(&self, trace: &[Request]) -> Vec<SimulationResult> {
+        self.shard_and_run(trace).1
+    }
+
+    /// Simulate the fleet and aggregate its metrics (a static fleet: the
+    /// scaling timeline is empty and every replica is ready at time zero).
+    /// The aggregation itself is shared with the online controller
+    /// ([`crate::fleet::FleetController::run`]), so the two front doors can
+    /// never drift apart.
     pub fn metrics(&self, trace: &[Request]) -> FleetMetrics {
-        let results = self.simulate(trace);
-        let per_replica: Vec<ServingMetrics> =
-            results.iter().map(ServingMetrics::from_result).collect();
-        let latencies: Vec<f64> = results
-            .iter()
-            .flat_map(|r| r.completed.iter().map(|c| c.latency_ms()))
+        let (shards, results) = self.shard_and_run(trace);
+        let description = self.backend.describe();
+        let records = results
+            .into_iter()
+            .zip(shards)
+            .map(|(result, shard)| crate::fleet::ReplicaRecord {
+                description: description.clone(),
+                spawned_ms: 0.0,
+                ready_ms: 0.0,
+                retired_ms: None,
+                assigned_ids: shard.iter().map(|r| r.id).collect(),
+                result,
+            })
             .collect();
-        let ttfts: Vec<f64> = results
-            .iter()
-            .flat_map(|r| r.completed.iter().map(|c| c.ttft_ms()))
-            .collect();
-        let tpots: Vec<f64> = results
-            .iter()
-            .flat_map(|r| r.completed.iter().filter_map(|c| c.tpot_ms()))
-            .collect();
-        let makespan_ms = results.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
-        let output_tokens: usize = results.iter().map(|r| r.output_tokens()).sum();
-        FleetMetrics {
-            engine: self.backend.engine_kind(),
-            replicas: self.replicas,
-            completed: results.iter().map(|r| r.completed.len()).sum(),
-            rejected: results.iter().map(|r| r.rejected.len()).sum(),
-            output_tokens_per_s: if makespan_ms > 0.0 {
-                output_tokens as f64 / (makespan_ms / 1e3)
-            } else {
-                0.0
-            },
-            request_latency: latency_summary(&latencies),
-            ttft: latency_summary(&ttfts),
-            tpot: latency_summary(&tpots),
-            makespan_ms,
-            per_replica,
-        }
+        crate::fleet::aggregate(self.replicas, records, Vec::new(), Vec::new())
     }
 }
 
@@ -225,7 +248,8 @@ mod tests {
         let trace = trace();
         for policy in [
             DispatchPolicy::RoundRobin,
-            DispatchPolicy::LeastOutstandingTokens,
+            DispatchPolicy::least_outstanding(),
+            DispatchPolicy::LeastOutstandingTokensFrozen,
         ] {
             let shards = dispatch_trace(&trace, 3, policy);
             assert_eq!(shards.len(), 3);
@@ -242,15 +266,40 @@ mod tests {
     #[test]
     fn least_outstanding_balances_token_load_better_than_worst_case() {
         let trace = trace();
-        let shards = dispatch_trace(&trace, 4, DispatchPolicy::LeastOutstandingTokens);
+        let shards = dispatch_trace(&trace, 4, DispatchPolicy::LeastOutstandingTokensFrozen);
         let loads: Vec<usize> = shards
             .iter()
             .map(|s| s.iter().map(|r| r.total_tokens()).sum())
             .collect();
         let max = *loads.iter().max().unwrap();
         let min = *loads.iter().min().unwrap();
-        // The greedy policy keeps the spread within one max-size request.
+        // The frozen greedy policy keeps the cumulative spread within one
+        // max-size request. (The decayed variant optimises for *current*
+        // load, not lifetime totals — its property is the stale-load test
+        // below.)
         assert!(max - min <= 256 + 16, "loads {loads:?}");
+    }
+
+    #[test]
+    fn decayed_outstanding_forgets_stale_load_where_frozen_remembers() {
+        // Two early requests load replica 0 with far more tokens than
+        // replica 1 ever got. Ten seconds later both replicas have long
+        // drained; the decayed policy routes the late request to replica 0
+        // (all counts decayed to zero, first-index tie-break) while the
+        // frozen counter still remembers the stale imbalance and picks
+        // replica 1.
+        let mk = |id: u64, arrival_ms: f64, prompt_len: usize| Request {
+            id,
+            arrival_ms,
+            prompt_len,
+            output_len: 10,
+        };
+        let trace = vec![mk(0, 0.0, 500), mk(1, 1.0, 50), mk(2, 10_000.0, 20)];
+        let frozen = dispatch_trace(&trace, 2, DispatchPolicy::LeastOutstandingTokensFrozen);
+        assert_eq!(frozen[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1, 2]);
+        let decayed = dispatch_trace(&trace, 2, DispatchPolicy::least_outstanding());
+        assert_eq!(decayed[0].iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2]);
+        assert_eq!(decayed[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1]);
     }
 
     #[test]
@@ -265,6 +314,14 @@ mod tests {
         assert_eq!(one.completed + one.rejected, trace.len());
         assert_eq!(four.completed + four.rejected, trace.len());
         assert_eq!(four.per_replica.len(), 4);
+        // The static shim reports a fixed fleet: no scaling timeline, every
+        // replica ready at time zero.
+        assert!(four.scale_events.is_empty());
+        assert!(four.per_replica.iter().all(|r| r.ready_ms == 0.0));
+        assert_eq!(
+            four.per_replica.iter().map(|r| r.assigned).sum::<usize>(),
+            trace.len()
+        );
         // Four replicas drain the same trace no slower (and, under this
         // offered load, strictly faster).
         assert!(four.makespan_ms <= one.makespan_ms);

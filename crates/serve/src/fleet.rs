@@ -1,0 +1,1143 @@
+//! The online fleet control plane: heterogeneous replicas, capability-aware
+//! dispatch and SLO-driven autoscaling behind one API.
+//!
+//! Where [`dispatch`](crate::dispatch) splits a trace *ahead of time* across
+//! a fixed count of identical replicas, the [`FleetController`] here is an
+//! *online* control plane:
+//!
+//! * **Heterogeneous replicas** — the fleet is a set of
+//!   `Box<dyn ExecutionBackend>` replicas, so an expert-parallel A100 pod
+//!   (`ClusterBackend` in `samoyeds-dist`) serves next to consumer-GPU
+//!   singles ([`SingleGpuBackend`](crate::backend::SingleGpuBackend))
+//!   behind the same dispatcher.
+//! * **Capability-aware dispatch** — each request is routed *at its arrival
+//!   time* from live replica state: kernel support
+//!   ([`ExecutionBackend::supports`]), admission headroom
+//!   ([`MemoryBudget`](crate::backend::MemoryBudget) via
+//!   [`ReplicaDriver::can_ever_admit`]) and outstanding work (which decays
+//!   as replicas make progress — the fix for the frozen accumulate-forever
+//!   counter).
+//! * **SLO-driven autoscaling** — a pluggable [`AutoscalePolicy`] is
+//!   consulted every control tick: scale out on p95-TTFT SLO breach (new
+//!   replicas charged a warm-up delay before they take traffic), scale in on
+//!   sustained low utilization (draining, never dropping below the floor).
+//!   Every scale event lands on the [`FleetMetrics::scale_events`] timeline.
+
+use crate::backend::ExecutionBackend;
+use crate::dispatch::DispatchPolicy;
+use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
+use crate::request::Request;
+use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
+use samoyeds_moe::engines::EngineKind;
+use serde::{Deserialize, Serialize};
+
+/// Fleet-level control-plane knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Per-replica scheduler configuration (also parameterises each
+    /// backend's cost model, as everywhere else in the crate).
+    pub scheduler: SchedulerConfig,
+    /// How arriving requests pick a replica.
+    pub policy: DispatchPolicy,
+    /// Control-tick period: how often the autoscale policy is consulted.
+    pub tick_ms: f64,
+    /// Sliding observation window for TTFT percentiles and utilization.
+    pub window_ms: f64,
+    /// Warm-up charged to every scaled-out replica before it takes traffic
+    /// (weight loading, cache warm, registration).
+    pub warmup_ms: f64,
+    /// The fleet never scales below this many replicas that can actually
+    /// serve the model. Dead-weight replicas (kernels or weights that can
+    /// never admit anything) do not count toward this floor and are drained
+    /// freely, down to one commissioned replica overall.
+    pub min_replicas: usize,
+    /// The fleet never scales above this many commissioned replicas.
+    pub max_replicas: usize,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            scheduler: SchedulerConfig::default(),
+            policy: DispatchPolicy::least_outstanding(),
+            tick_ms: 200.0,
+            window_ms: 1_000.0,
+            warmup_ms: 2_000.0,
+            min_replicas: 1,
+            max_replicas: 8,
+        }
+    }
+}
+
+/// What the autoscale policy sees at each control tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FleetObservation {
+    /// Simulated time of the tick.
+    pub now_ms: f64,
+    /// Replicas currently taking traffic (ready, not draining).
+    pub routable_replicas: usize,
+    /// Replicas commissioned but still warming up.
+    pub warming_replicas: usize,
+    /// p95 time-to-first-token over first-token events in the window, if
+    /// any landed.
+    pub p95_ttft_ms: Option<f64>,
+    /// Age of the oldest request that has not produced its first token
+    /// (zero when none is pending) — catches overload even when nothing
+    /// completes inside the window.
+    pub max_pending_wait_ms: f64,
+    /// Busy fraction of the ready replicas over the window.
+    pub utilization: f64,
+    /// Tokens of work still owed across the fleet.
+    pub outstanding_tokens: usize,
+    /// Requests waiting for admission across the fleet.
+    pub queued_requests: usize,
+}
+
+/// The autoscale policy's verdict for one control tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleDecision {
+    /// Keep the current fleet.
+    Hold,
+    /// Commission one more replica (subject to `max_replicas`).
+    ScaleOut,
+    /// Drain one replica (subject to `min_replicas`).
+    ScaleIn,
+}
+
+/// A pluggable autoscaling policy, consulted once per control tick.
+pub trait AutoscalePolicy {
+    /// Decide from the tick's observation. Policies may keep internal state
+    /// (breach streaks, cooldowns); the controller owns enforcement of the
+    /// replica floor/ceiling and of warm-up.
+    fn decide(&mut self, observation: &FleetObservation) -> ScaleDecision;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> String {
+        "autoscaler".to_string()
+    }
+}
+
+/// A fixed fleet: never scales.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoAutoscale;
+
+impl AutoscalePolicy for NoAutoscale {
+    fn decide(&mut self, _observation: &FleetObservation) -> ScaleDecision {
+        ScaleDecision::Hold
+    }
+
+    fn name(&self) -> String {
+        "fixed".to_string()
+    }
+}
+
+/// The reference SLO policy: scale out after `breach_ticks` consecutive
+/// ticks whose windowed p95 TTFT (or head-of-line waiting age) exceeds the
+/// SLO, scale in after `idle_ticks` consecutive ticks of low utilization
+/// with nothing queued.
+#[derive(Debug, Clone)]
+pub struct SloAutoscaler {
+    /// The p95 time-to-first-token target, milliseconds.
+    pub ttft_slo_ms: f64,
+    /// Consecutive breached ticks before scaling out.
+    pub breach_ticks: usize,
+    /// Utilization below which a tick counts as idle.
+    pub low_utilization: f64,
+    /// Consecutive idle ticks before scaling in.
+    pub idle_ticks: usize,
+    breach_streak: usize,
+    idle_streak: usize,
+}
+
+impl SloAutoscaler {
+    /// A policy targeting `ttft_slo_ms` with the default streak lengths
+    /// (2 breached ticks to scale out, 4 idle ticks below 35% to scale in).
+    pub fn new(ttft_slo_ms: f64) -> Self {
+        Self {
+            ttft_slo_ms,
+            breach_ticks: 2,
+            low_utilization: 0.35,
+            idle_ticks: 4,
+            breach_streak: 0,
+            idle_streak: 0,
+        }
+    }
+
+    /// Replace the scale-out breach streak length.
+    pub fn with_breach_ticks(mut self, breach_ticks: usize) -> Self {
+        self.breach_ticks = breach_ticks.max(1);
+        self
+    }
+
+    /// Replace the scale-in idle threshold and streak length.
+    pub fn with_scale_in(mut self, low_utilization: f64, idle_ticks: usize) -> Self {
+        self.low_utilization = low_utilization;
+        self.idle_ticks = idle_ticks.max(1);
+        self
+    }
+}
+
+impl AutoscalePolicy for SloAutoscaler {
+    fn decide(&mut self, obs: &FleetObservation) -> ScaleDecision {
+        let breached = obs.p95_ttft_ms.is_some_and(|p95| p95 > self.ttft_slo_ms)
+            || obs.max_pending_wait_ms > self.ttft_slo_ms;
+        let idle = obs.utilization < self.low_utilization && obs.queued_requests == 0;
+        if breached {
+            // Capacity already in flight: wait for it to land before
+            // commissioning more, so a long warm-up does not turn one
+            // breach into a stampede of scale-outs.
+            if obs.warming_replicas > 0 {
+                self.breach_streak = 0;
+                self.idle_streak = 0;
+                return ScaleDecision::Hold;
+            }
+            self.breach_streak += 1;
+            self.idle_streak = 0;
+        } else if idle {
+            self.idle_streak += 1;
+            self.breach_streak = 0;
+        } else {
+            self.breach_streak = 0;
+            self.idle_streak = 0;
+        }
+        if self.breach_streak >= self.breach_ticks {
+            self.breach_streak = 0;
+            ScaleDecision::ScaleOut
+        } else if self.idle_streak >= self.idle_ticks {
+            self.idle_streak = 0;
+            ScaleDecision::ScaleIn
+        } else {
+            ScaleDecision::Hold
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("slo p95-ttft {:.0} ms", self.ttft_slo_ms)
+    }
+}
+
+/// Direction of a scale event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScaleKind {
+    /// A replica was commissioned.
+    Out,
+    /// A replica began draining.
+    In,
+}
+
+/// One entry of the scaling timeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScaleEvent {
+    /// Simulated time of the event.
+    pub at_ms: f64,
+    /// Direction.
+    pub kind: ScaleKind,
+    /// Commissioned (routable + warming) replicas after the event.
+    pub replicas_after: usize,
+    /// What the observation looked like (for the report).
+    pub reason: String,
+}
+
+/// Per-replica slice of a fleet run.
+#[derive(Debug, Clone)]
+pub struct ReplicaBreakdown {
+    /// The backend's one-line description.
+    pub description: String,
+    /// The engine the replica runs.
+    pub engine: EngineKind,
+    /// When the replica was commissioned (0 for the initial fleet).
+    pub spawned_ms: f64,
+    /// When it started taking traffic (spawn + warm-up).
+    pub ready_ms: f64,
+    /// When it finished draining after a scale-in, if it was retired.
+    pub retired_ms: Option<f64>,
+    /// Requests routed to this replica.
+    pub assigned: usize,
+    /// The ids of those requests, in routing order (the dispatch log the
+    /// conservation proptests check).
+    pub assigned_ids: Vec<u64>,
+    /// The replica's own serving metrics.
+    pub metrics: ServingMetrics,
+}
+
+/// Aggregate metrics of a fleet run — static
+/// ([`ReplicaFleet::metrics`](crate::dispatch::ReplicaFleet::metrics)) or
+/// online ([`FleetController::run`]), behind the same type.
+#[derive(Debug, Clone)]
+pub struct FleetMetrics {
+    /// The first replica's engine (fleets may be heterogeneous; see
+    /// [`Self::per_replica`] for the full picture).
+    pub engine: EngineKind,
+    /// Peak commissioned replicas over the run (the fixed count for static
+    /// fleets).
+    pub replicas: usize,
+    /// Completed requests across the fleet.
+    pub completed: usize,
+    /// Rejected requests across the fleet (unroutable plus per-replica
+    /// rejections).
+    pub rejected: usize,
+    /// Fleet output-token throughput (tokens/s over the fleet makespan).
+    pub output_tokens_per_s: f64,
+    /// Pooled end-to-end request latency distribution.
+    pub request_latency: LatencySummary,
+    /// Pooled time-to-first-token distribution.
+    pub ttft: LatencySummary,
+    /// Pooled per-output-token latency distribution.
+    pub tpot: LatencySummary,
+    /// Fleet makespan (slowest replica).
+    pub makespan_ms: f64,
+    /// Per-replica breakdowns, in commission order.
+    pub per_replica: Vec<ReplicaBreakdown>,
+    /// The scaling timeline (empty for static fleets).
+    pub scale_events: Vec<ScaleEvent>,
+    /// Ids of requests no replica could ever admit.
+    pub unroutable_ids: Vec<u64>,
+}
+
+impl FleetMetrics {
+    /// Scale-out events on the timeline.
+    pub fn scale_outs(&self) -> usize {
+        self.scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleKind::Out)
+            .count()
+    }
+
+    /// Scale-in events on the timeline.
+    pub fn scale_ins(&self) -> usize {
+        self.scale_events
+            .iter()
+            .filter(|e| e.kind == ScaleKind::In)
+            .count()
+    }
+
+    /// Render the scaling timeline as markdown rows.
+    pub fn render_timeline(&self) -> Vec<String> {
+        let mut rows = vec![
+            "| t (s) | event | replicas after | reason |".to_string(),
+            "|---|---|---|---|".to_string(),
+        ];
+        for e in &self.scale_events {
+            rows.push(format!(
+                "| {:.2} | {} | {} | {} |",
+                e.at_ms / 1e3,
+                match e.kind {
+                    ScaleKind::Out => "scale-out",
+                    ScaleKind::In => "scale-in",
+                },
+                e.replicas_after,
+                e.reason,
+            ));
+        }
+        rows
+    }
+}
+
+/// A factory for scale-out replicas.
+pub type ReplicaFactory = Box<dyn Fn() -> Box<dyn ExecutionBackend>>;
+
+/// One replica slot inside the controller.
+struct Slot {
+    driver: ReplicaDriver<Box<dyn ExecutionBackend>>,
+    description: String,
+    spawned_ms: f64,
+    ready_ms: f64,
+    draining: bool,
+    retired_ms: Option<f64>,
+    assigned_ids: Vec<u64>,
+    /// Cumulative assigned tokens — the frozen dispatch counter, kept so the
+    /// pre-redesign policy stays reachable online too.
+    assigned_tokens: usize,
+}
+
+impl Slot {
+    fn new(
+        backend: Box<dyn ExecutionBackend>,
+        scfg: SchedulerConfig,
+        spawned_ms: f64,
+        ready_ms: f64,
+    ) -> Self {
+        let description = backend.describe();
+        Self {
+            driver: ReplicaDriver::new(backend, scfg),
+            description,
+            spawned_ms,
+            ready_ms,
+            draining: false,
+            retired_ms: None,
+            assigned_ids: Vec::new(),
+            assigned_tokens: 0,
+        }
+    }
+
+    /// Commissioned: part of the fleet (possibly warming), not on its way
+    /// out.
+    fn commissioned(&self) -> bool {
+        !self.draining && self.retired_ms.is_none()
+    }
+
+    /// Routable at `now`: commissioned and past its warm-up.
+    fn routable(&self, now_ms: f64) -> bool {
+        self.commissioned() && self.ready_ms <= now_ms
+    }
+}
+
+/// The online fleet control plane. See the [module docs](self) for the
+/// design; typical use is builder-style:
+///
+/// ```
+/// use samoyeds_gpu_sim::DeviceSpec;
+/// use samoyeds_moe::config::MoeModelConfig;
+/// use samoyeds_moe::engines::EngineKind;
+/// use samoyeds_serve::{
+///     FleetConfig, FleetController, SchedulerConfig, SingleGpuBackend, SloAutoscaler,
+///     TraceConfig,
+/// };
+///
+/// let scfg = SchedulerConfig::default();
+/// let model = MoeModelConfig::qwen2_moe();
+/// let single = move || {
+///     Box::new(SingleGpuBackend::new(
+///         DeviceSpec::a100_40g(),
+///         &model,
+///         EngineKind::Samoyeds,
+///         &scfg,
+///     )) as Box<dyn samoyeds_serve::ExecutionBackend>
+/// };
+/// let fleet = FleetController::new(FleetConfig::default())
+///     .with_replica(single())
+///     .with_factory(single)
+///     .with_autoscaler(SloAutoscaler::new(2_000.0));
+/// let trace = TraceConfig { num_requests: 8, ..TraceConfig::default() }.generate();
+/// let metrics = fleet.run(&trace);
+/// assert_eq!(metrics.completed + metrics.rejected, 8);
+/// ```
+pub struct FleetController {
+    config: FleetConfig,
+    initial: Vec<Box<dyn ExecutionBackend>>,
+    factory: Option<ReplicaFactory>,
+    autoscaler: Box<dyn AutoscalePolicy>,
+}
+
+impl FleetController {
+    /// A controller with no replicas yet, a fixed (non-scaling) policy and
+    /// no factory. Add replicas with [`Self::with_replica`].
+    pub fn new(config: FleetConfig) -> Self {
+        Self {
+            config,
+            initial: Vec::new(),
+            factory: None,
+            autoscaler: Box::new(NoAutoscale),
+        }
+    }
+
+    /// Add one replica to the initial fleet (ready at time zero).
+    pub fn with_replica(mut self, backend: Box<dyn ExecutionBackend>) -> Self {
+        self.initial.push(backend);
+        self
+    }
+
+    /// Install the factory scale-out commissions new replicas from. Without
+    /// a factory the fleet can only scale in.
+    pub fn with_factory(
+        mut self,
+        factory: impl Fn() -> Box<dyn ExecutionBackend> + 'static,
+    ) -> Self {
+        self.factory = Some(Box::new(factory));
+        self
+    }
+
+    /// Install the autoscale policy (default: [`NoAutoscale`]).
+    pub fn with_autoscaler(mut self, policy: impl AutoscalePolicy + 'static) -> Self {
+        self.autoscaler = Box::new(policy);
+        self
+    }
+
+    /// Serve `trace` (sorted by arrival) to completion and return the fleet
+    /// metrics, including per-replica breakdowns and the scaling timeline.
+    ///
+    /// # Panics
+    /// Panics if the initial fleet is empty, the control-plane knobs are
+    /// degenerate (non-positive tick/window, zero `min_replicas`) or the
+    /// trace is not sorted by arrival time.
+    pub fn run(mut self, trace: &[Request]) -> FleetMetrics {
+        assert!(
+            !self.initial.is_empty(),
+            "a fleet needs at least one replica"
+        );
+        assert!(self.config.min_replicas >= 1, "min_replicas must be >= 1");
+        assert!(
+            self.config.tick_ms > 0.0 && self.config.window_ms > 0.0,
+            "tick and window must be positive"
+        );
+        assert!(self.config.warmup_ms >= 0.0, "warm-up cannot be negative");
+        assert!(
+            trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
+            "trace must be sorted by arrival time"
+        );
+
+        let scfg = self.config.scheduler;
+        let mut slots: Vec<Slot> = self
+            .initial
+            .drain(..)
+            .map(|backend| Slot::new(backend, scfg, 0.0, 0.0))
+            .collect();
+        let mut events: Vec<ScaleEvent> = Vec::new();
+        let mut unroutable: Vec<u64> = Vec::new();
+        let mut peak_replicas = slots.len();
+        let mut rr_cursor = 0usize;
+        let mut next_tick = self.config.tick_ms;
+
+        for request in trace {
+            while next_tick <= request.arrival_ms {
+                control_tick(
+                    next_tick,
+                    &self.config,
+                    self.autoscaler.as_mut(),
+                    self.factory.as_deref(),
+                    &mut slots,
+                    &mut events,
+                    &mut peak_replicas,
+                );
+                next_tick += self.config.tick_ms;
+            }
+            for slot in slots.iter_mut() {
+                slot.driver.advance_to(request.arrival_ms);
+            }
+
+            // Capability-aware routing from live state: ready, not draining,
+            // kernels support the model, and the memory budget could ever
+            // admit the request.
+            let eligible: Vec<usize> = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, slot)| {
+                    slot.routable(request.arrival_ms) && slot.driver.can_ever_admit(request)
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let Some(&target) = (match self.config.policy {
+                DispatchPolicy::RoundRobin => {
+                    let picked = eligible.get(rr_cursor.checked_rem(eligible.len()).unwrap_or(0));
+                    rr_cursor = rr_cursor.wrapping_add(1);
+                    picked
+                }
+                DispatchPolicy::LeastOutstandingTokens { .. } => eligible
+                    .iter()
+                    .min_by_key(|&&i| slots[i].driver.outstanding_tokens()),
+                DispatchPolicy::LeastOutstandingTokensFrozen => {
+                    eligible.iter().min_by_key(|&&i| slots[i].assigned_tokens)
+                }
+            }) else {
+                unroutable.push(request.id);
+                continue;
+            };
+            slots[target].driver.enqueue(*request);
+            slots[target].assigned_ids.push(request.id);
+            slots[target].assigned_tokens += request.total_tokens();
+        }
+
+        // Keep ticking until the fleet drains, so post-burst scale-in lands
+        // on the timeline.
+        let mut guard = 0usize;
+        while slots.iter().any(|slot| !slot.driver.is_drained()) {
+            control_tick(
+                next_tick,
+                &self.config,
+                self.autoscaler.as_mut(),
+                self.factory.as_deref(),
+                &mut slots,
+                &mut events,
+                &mut peak_replicas,
+            );
+            next_tick += self.config.tick_ms;
+            guard += 1;
+            assert!(
+                guard < 10_000_000,
+                "fleet drain exceeded the tick safety cap"
+            );
+        }
+
+        finalize(slots, events, unroutable, peak_replicas)
+    }
+}
+
+/// One control tick: advance every replica to `t`, retire drained draining
+/// replicas, observe, and apply the autoscale decision.
+fn control_tick(
+    t: f64,
+    config: &FleetConfig,
+    autoscaler: &mut dyn AutoscalePolicy,
+    factory: Option<&dyn Fn() -> Box<dyn ExecutionBackend>>,
+    slots: &mut Vec<Slot>,
+    events: &mut Vec<ScaleEvent>,
+    peak_replicas: &mut usize,
+) {
+    for slot in slots.iter_mut() {
+        slot.driver.advance_to(t);
+        if slot.draining && slot.retired_ms.is_none() && slot.driver.is_drained() {
+            slot.retired_ms = Some(t);
+        }
+    }
+
+    let obs = observe(t, config, slots);
+    match autoscaler.decide(&obs) {
+        ScaleDecision::Hold => {}
+        ScaleDecision::ScaleOut => {
+            let commissioned = slots.iter().filter(|s| s.commissioned()).count();
+            if commissioned < config.max_replicas {
+                if let Some(factory) = factory {
+                    slots.push(Slot::new(
+                        factory(),
+                        config.scheduler,
+                        t,
+                        t + config.warmup_ms,
+                    ));
+                    events.push(ScaleEvent {
+                        at_ms: t,
+                        kind: ScaleKind::Out,
+                        replicas_after: commissioned + 1,
+                        reason: describe_observation(&obs),
+                    });
+                }
+            }
+        }
+        ScaleDecision::ScaleIn => {
+            let commissioned = slots.iter().filter(|s| s.commissioned()).count();
+            // The floor is counted over replicas that can actually *serve*
+            // the model: draining must never remove the last capable
+            // replica (a heterogeneous fleet may carry dead weight whose
+            // kernels or weights can never admit anything, and that dead
+            // weight must not satisfy the floor). Warming capable replicas
+            // carry no traffic yet, so they skip the routable check here —
+            // but they still count toward the commissioned-capable floor
+            // the `allowed` gate below enforces.
+            let routable_capable = slots
+                .iter()
+                .filter(|s| s.routable(t) && s.driver.can_serve_model())
+                .count();
+            let candidate = slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.commissioned())
+                .filter(|(_, s)| {
+                    !s.driver.can_serve_model()
+                        || s.ready_ms > t
+                        || routable_capable > config.min_replicas
+                })
+                .min_by(|(ia, a), (ib, b)| {
+                    // Dead-weight replicas drain first...
+                    a.driver
+                        .can_serve_model()
+                        .cmp(&b.driver.can_serve_model())
+                        // ...then the least-loaded...
+                        .then(
+                            a.driver
+                                .outstanding_tokens()
+                                .cmp(&b.driver.outstanding_tokens()),
+                        )
+                        // ...preferring the newest replica (LIFO scale-in)...
+                        .then(
+                            b.spawned_ms
+                                .partial_cmp(&a.spawned_ms)
+                                .expect("spawn times are finite"),
+                        )
+                        // ...and break remaining ties deterministically.
+                        .then(ib.cmp(ia))
+                })
+                .map(|(i, _)| i);
+            if let Some(i) = candidate {
+                // The floor is over *capable* replicas: dead weight never
+                // satisfies it, so draining dead weight is allowed whenever
+                // at least one commissioned replica remains, while draining
+                // a capable replica must leave the capable count at or
+                // above the floor.
+                let commissioned_capable = slots
+                    .iter()
+                    .filter(|s| s.commissioned() && s.driver.can_serve_model())
+                    .count();
+                let allowed = if slots[i].driver.can_serve_model() {
+                    commissioned_capable > config.min_replicas
+                } else {
+                    commissioned > 1
+                };
+                if allowed {
+                    slots[i].draining = true;
+                    if slots[i].driver.is_drained() {
+                        slots[i].retired_ms = Some(t);
+                    }
+                    events.push(ScaleEvent {
+                        at_ms: t,
+                        kind: ScaleKind::In,
+                        replicas_after: commissioned - 1,
+                        reason: describe_observation(&obs),
+                    });
+                }
+            }
+        }
+    }
+    *peak_replicas = (*peak_replicas).max(slots.iter().filter(|s| s.commissioned()).count());
+}
+
+/// Build the tick's observation from live replica state.
+fn observe(t: f64, config: &FleetConfig, slots: &[Slot]) -> FleetObservation {
+    let window_start = (t - config.window_ms).max(0.0);
+    let mut ttfts = Vec::new();
+    for slot in slots {
+        // Completions are in finished-time order and first_token <=
+        // finished, so scanning from the newest and stopping at the window
+        // edge keeps each tick O(window), not O(history).
+        for c in slot.driver.completed().iter().rev() {
+            if c.finished_ms <= window_start {
+                break;
+            }
+            if c.first_token_ms > window_start && c.first_token_ms <= t {
+                ttfts.push(c.ttft_ms());
+            }
+        }
+        for r in slot.driver.running_requests() {
+            if let Some(first) = r.first_token_ms {
+                if first > window_start && first <= t {
+                    ttfts.push(first - r.request.arrival_ms);
+                }
+            }
+        }
+    }
+    let p95_ttft_ms = if ttfts.is_empty() {
+        None
+    } else {
+        Some(latency_summary(&ttfts).p95_ms)
+    };
+    let max_pending_wait_ms = slots
+        .iter()
+        .filter(|s| s.retired_ms.is_none())
+        .filter_map(|s| s.driver.oldest_unserved_arrival_ms())
+        .map(|arrival| (t - arrival).max(0.0))
+        .fold(0.0f64, f64::max);
+
+    let mut busy_ms = 0.0;
+    let mut available_ms = 0.0;
+    for slot in slots.iter().filter(|s| s.retired_ms.is_none()) {
+        let since = window_start.max(slot.ready_ms);
+        if since < t {
+            busy_ms += slot.driver.busy_ms_between(since, t);
+            available_ms += t - since;
+        }
+    }
+    FleetObservation {
+        now_ms: t,
+        routable_replicas: slots.iter().filter(|s| s.routable(t)).count(),
+        warming_replicas: slots
+            .iter()
+            .filter(|s| s.commissioned() && s.ready_ms > t)
+            .count(),
+        p95_ttft_ms,
+        max_pending_wait_ms,
+        utilization: if available_ms > 0.0 {
+            busy_ms / available_ms
+        } else {
+            0.0
+        },
+        outstanding_tokens: slots.iter().map(|s| s.driver.outstanding_tokens()).sum(),
+        queued_requests: slots.iter().map(|s| s.driver.queued_requests()).sum(),
+    }
+}
+
+fn describe_observation(obs: &FleetObservation) -> String {
+    format!(
+        "p95 TTFT {} · max wait {:.0} ms · util {:.0}% · {} queued",
+        obs.p95_ttft_ms
+            .map_or_else(|| "-".to_string(), |p| format!("{p:.0} ms")),
+        obs.max_pending_wait_ms,
+        obs.utilization * 100.0,
+        obs.queued_requests,
+    )
+}
+
+/// Fold the finished slots, timeline and unroutable set into fleet metrics.
+fn finalize(
+    slots: Vec<Slot>,
+    scale_events: Vec<ScaleEvent>,
+    unroutable_ids: Vec<u64>,
+    peak_replicas: usize,
+) -> FleetMetrics {
+    let records = slots
+        .into_iter()
+        .map(|slot| {
+            let Slot {
+                driver,
+                description,
+                spawned_ms,
+                ready_ms,
+                retired_ms,
+                assigned_ids,
+                ..
+            } = slot;
+            ReplicaRecord {
+                description,
+                spawned_ms,
+                ready_ms,
+                retired_ms,
+                assigned_ids,
+                result: driver.finish(),
+            }
+        })
+        .collect();
+    aggregate(peak_replicas, records, scale_events, unroutable_ids)
+}
+
+/// One replica's finished run plus its control-plane bookkeeping — the input
+/// row of [`aggregate`].
+pub(crate) struct ReplicaRecord {
+    pub description: String,
+    pub spawned_ms: f64,
+    pub ready_ms: f64,
+    pub retired_ms: Option<f64>,
+    pub assigned_ids: Vec<u64>,
+    pub result: SimulationResult,
+}
+
+/// Pool per-replica results into fleet metrics — the one aggregation both
+/// the online controller ([`finalize`]) and the static shim
+/// ([`ReplicaFleet::metrics`](crate::dispatch::ReplicaFleet::metrics))
+/// share, so the two front doors can never drift apart.
+pub(crate) fn aggregate(
+    replicas: usize,
+    records: Vec<ReplicaRecord>,
+    scale_events: Vec<ScaleEvent>,
+    unroutable_ids: Vec<u64>,
+) -> FleetMetrics {
+    let mut per_replica = Vec::with_capacity(records.len());
+    let mut latencies = Vec::new();
+    let mut ttfts = Vec::new();
+    let mut tpots = Vec::new();
+    let mut completed = 0usize;
+    let mut rejected = unroutable_ids.len();
+    let mut output_tokens = 0usize;
+    let mut makespan_ms = 0.0f64;
+    for record in records {
+        let result = &record.result;
+        completed += result.completed.len();
+        rejected += result.rejected.len();
+        output_tokens += result.output_tokens();
+        makespan_ms = makespan_ms.max(result.makespan_ms);
+        latencies.extend(result.completed.iter().map(|c| c.latency_ms()));
+        ttfts.extend(result.completed.iter().map(|c| c.ttft_ms()));
+        tpots.extend(result.completed.iter().filter_map(|c| c.tpot_ms()));
+        per_replica.push(ReplicaBreakdown {
+            engine: result.engine,
+            metrics: ServingMetrics::from_result(result),
+            description: record.description,
+            spawned_ms: record.spawned_ms,
+            ready_ms: record.ready_ms,
+            retired_ms: record.retired_ms,
+            assigned: record.assigned_ids.len(),
+            assigned_ids: record.assigned_ids,
+        });
+    }
+    FleetMetrics {
+        engine: per_replica
+            .first()
+            .map(|r| r.engine)
+            .unwrap_or(EngineKind::Samoyeds),
+        replicas,
+        completed,
+        rejected,
+        output_tokens_per_s: if makespan_ms > 0.0 {
+            output_tokens as f64 / (makespan_ms / 1e3)
+        } else {
+            0.0
+        },
+        request_latency: latency_summary(&latencies),
+        ttft: latency_summary(&ttfts),
+        tpot: latency_summary(&tpots),
+        makespan_ms,
+        per_replica,
+        scale_events,
+        unroutable_ids,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::SingleGpuBackend;
+    use crate::trace::{BurstPhase, BurstyTraceConfig};
+    use samoyeds_gpu_sim::DeviceSpec;
+    use samoyeds_moe::config::MoeModelConfig;
+
+    fn single(
+        device: DeviceSpec,
+        engine: EngineKind,
+        scfg: &SchedulerConfig,
+    ) -> Box<dyn ExecutionBackend> {
+        Box::new(SingleGpuBackend::new(
+            device,
+            &MoeModelConfig::qwen2_moe(),
+            engine,
+            scfg,
+        ))
+    }
+
+    fn burst() -> Vec<Request> {
+        BurstyTraceConfig {
+            phases: vec![
+                BurstPhase {
+                    arrival_rate_rps: 2.0,
+                    num_requests: 8,
+                },
+                BurstPhase {
+                    arrival_rate_rps: 150.0,
+                    num_requests: 60,
+                },
+                BurstPhase {
+                    arrival_rate_rps: 2.0,
+                    num_requests: 8,
+                },
+            ],
+            prompt_len_range: (64, 256),
+            output_len_range: (16, 48),
+            seed: 17,
+        }
+        .generate()
+    }
+
+    #[test]
+    fn slo_breach_scales_out_and_low_utilization_scales_back_in() {
+        let scfg = SchedulerConfig::default();
+        let config = FleetConfig {
+            scheduler: scfg,
+            warmup_ms: 500.0,
+            max_replicas: 4,
+            ..FleetConfig::default()
+        };
+        let metrics = FleetController::new(config)
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_factory(move || single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_autoscaler(SloAutoscaler::new(400.0))
+            .run(&burst());
+        assert_eq!(metrics.completed, 76);
+        assert_eq!(metrics.rejected, 0);
+        assert!(metrics.scale_outs() >= 1, "{:?}", metrics.scale_events);
+        assert!(metrics.scale_ins() >= 1, "{:?}", metrics.scale_events);
+        assert!(metrics.replicas > 1);
+        // The first event is a burst-driven scale-out, and some scale-in
+        // follows it once the burst drains.
+        assert_eq!(metrics.scale_events[0].kind, ScaleKind::Out);
+        let first_out = metrics.scale_events[0].at_ms;
+        assert!(metrics
+            .scale_events
+            .iter()
+            .any(|e| e.kind == ScaleKind::In && e.at_ms > first_out));
+        // Every event respects the floor, and warm-up is charged.
+        for e in &metrics.scale_events {
+            assert!(e.replicas_after >= 1);
+        }
+        for r in metrics.per_replica.iter().skip(1) {
+            assert_eq!(r.ready_ms, r.spawned_ms + 500.0);
+        }
+        // The timeline renders.
+        assert!(metrics.render_timeline().len() >= 2 + metrics.scale_events.len());
+    }
+
+    #[test]
+    fn dispatch_skips_replicas_whose_budget_rejects_the_model() {
+        // A 12 GiB card cannot hold dense Qwen2 weights: the dense replica
+        // is capability-ineligible and every request lands on the Samoyeds
+        // replica.
+        let scfg = SchedulerConfig::default();
+        let trace = crate::trace::TraceConfig {
+            num_requests: 10,
+            arrival_rate_rps: 8.0,
+            prompt_len_range: (32, 128),
+            output_len_range: (4, 12),
+            seed: 3,
+        }
+        .generate();
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Transformers,
+                &scfg,
+            ))
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Samoyeds,
+                &scfg,
+            ))
+            .run(&trace);
+        assert_eq!(metrics.completed, 10);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.per_replica[0].assigned, 0);
+        assert_eq!(metrics.per_replica[1].assigned, 10);
+        // No replica-level rejection: the gate keeps unfit replicas out of
+        // the eligible set instead of letting them bounce requests.
+        for r in &metrics.per_replica {
+            assert_eq!(r.metrics.rejected, 0);
+        }
+    }
+
+    #[test]
+    fn scale_in_never_drains_the_last_capable_replica() {
+        // Heterogeneous fleet where one replica is dead weight (dense
+        // weights can never fit the 12 GiB card): idle-driven scale-in must
+        // drain the dead weight, never the only replica that can serve —
+        // otherwise the late requests after the gap would all be stranded.
+        let scfg = SchedulerConfig::default();
+        let mk = |id: u64, arrival_ms: f64| Request {
+            id,
+            arrival_ms,
+            prompt_len: 64,
+            output_len: 8,
+        };
+        // Early work, a long idle gap (the autoscaler's idle streak fires),
+        // then late work.
+        let trace: Vec<Request> = (0..4)
+            .map(|i| mk(i, 100.0 * i as f64))
+            .chain((4..8).map(|i| mk(i, 20_000.0 + 100.0 * (i - 4) as f64)))
+            .collect();
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Transformers,
+                &scfg,
+            ))
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Samoyeds,
+                &scfg,
+            ))
+            .with_autoscaler(SloAutoscaler::new(400.0))
+            .run(&trace);
+        // Everything is served: the capable replica survived the scale-in.
+        assert_eq!(metrics.completed, 8, "{:?}", metrics.scale_events);
+        assert_eq!(metrics.rejected, 0);
+        assert!(metrics.scale_ins() >= 1, "{:?}", metrics.scale_events);
+        // The drained replica is the dense dead weight, not the Samoyeds
+        // one.
+        assert!(metrics.per_replica[0].retired_ms.is_some());
+        assert!(metrics.per_replica[1].retired_ms.is_none());
+        assert_eq!(metrics.per_replica[1].assigned, 8);
+
+        // Even when the raw replica count sits exactly at the floor, dead
+        // weight does not satisfy it and is still drained.
+        let at_floor = FleetController::new(FleetConfig {
+            min_replicas: 2,
+            ..FleetConfig::default()
+        })
+        .with_replica(single(
+            DeviceSpec::rtx4070_super(),
+            EngineKind::Transformers,
+            &scfg,
+        ))
+        .with_replica(single(
+            DeviceSpec::rtx4070_super(),
+            EngineKind::Samoyeds,
+            &scfg,
+        ))
+        .with_autoscaler(SloAutoscaler::new(400.0))
+        .run(&trace);
+        assert_eq!(at_floor.completed, 8);
+        assert!(
+            at_floor.per_replica[0].retired_ms.is_some(),
+            "dead weight kept at floor"
+        );
+        assert!(at_floor.per_replica[1].retired_ms.is_none());
+    }
+
+    #[test]
+    fn unroutable_requests_are_reported_not_lost() {
+        // A fleet made only of dense 12 GiB replicas can never admit the
+        // model's requests: everything is fleet-rejected.
+        let scfg = SchedulerConfig::default();
+        let trace = crate::trace::TraceConfig {
+            num_requests: 5,
+            arrival_rate_rps: 8.0,
+            prompt_len_range: (32, 64),
+            output_len_range: (4, 8),
+            seed: 4,
+        }
+        .generate();
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Transformers,
+                &scfg,
+            ))
+            .run(&trace);
+        assert_eq!(metrics.completed, 0);
+        assert_eq!(metrics.rejected, 5);
+        assert_eq!(metrics.unroutable_ids.len(), 5);
+    }
+
+    #[test]
+    fn fixed_policy_never_scales_and_round_robin_spreads() {
+        let scfg = SchedulerConfig::default();
+        let trace = crate::trace::TraceConfig {
+            num_requests: 12,
+            arrival_rate_rps: 6.0,
+            prompt_len_range: (32, 128),
+            output_len_range: (4, 12),
+            seed: 9,
+        }
+        .generate();
+        let config = FleetConfig {
+            policy: DispatchPolicy::RoundRobin,
+            ..FleetConfig::default()
+        };
+        let metrics = FleetController::new(config)
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .run(&trace);
+        assert!(metrics.scale_events.is_empty());
+        assert_eq!(metrics.replicas, 2);
+        assert_eq!(metrics.per_replica[0].assigned, 6);
+        assert_eq!(metrics.per_replica[1].assigned, 6);
+    }
+
+    #[test]
+    fn slo_autoscaler_streaks_gate_the_decisions() {
+        let mut policy = SloAutoscaler::new(500.0).with_scale_in(0.3, 2);
+        let breach = FleetObservation {
+            now_ms: 0.0,
+            routable_replicas: 1,
+            warming_replicas: 0,
+            p95_ttft_ms: Some(900.0),
+            max_pending_wait_ms: 0.0,
+            utilization: 0.9,
+            outstanding_tokens: 100,
+            queued_requests: 3,
+        };
+        let idle = FleetObservation {
+            p95_ttft_ms: None,
+            utilization: 0.1,
+            queued_requests: 0,
+            ..breach
+        };
+        // One breached tick holds; the second scales out.
+        assert_eq!(policy.decide(&breach), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&breach), ScaleDecision::ScaleOut);
+        // Idle ticks reset the breach streak and eventually scale in.
+        assert_eq!(policy.decide(&idle), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&idle), ScaleDecision::ScaleIn);
+        // A pending-wait breach counts even with no completions in window.
+        let waiting = FleetObservation {
+            p95_ttft_ms: None,
+            max_pending_wait_ms: 900.0,
+            ..breach
+        };
+        assert_eq!(policy.decide(&waiting), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&waiting), ScaleDecision::ScaleOut);
+        // While capacity is warming, further breaches hold instead of
+        // stampeding more scale-outs.
+        let warming = FleetObservation {
+            warming_replicas: 1,
+            ..breach
+        };
+        assert_eq!(policy.decide(&warming), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&warming), ScaleDecision::Hold);
+        // Once the replica lands, the breach streak starts fresh.
+        assert_eq!(policy.decide(&breach), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&breach), ScaleDecision::ScaleOut);
+    }
+}

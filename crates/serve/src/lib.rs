@@ -22,8 +22,11 @@
 //!   per-output-token latency) and throughput;
 //! * [`report`] — per-engine comparison on a shared trace, rendered as
 //!   markdown;
-//! * [`dispatch`] — multi-replica request dispatch and fleet-level metric
-//!   aggregation (the hook `samoyeds-dist` builds its cluster layer on).
+//! * [`fleet`] — the online fleet control plane: heterogeneous
+//!   `Box<dyn ExecutionBackend>` replicas behind a capability-aware
+//!   dispatcher, with SLO-driven autoscaling and a scaling timeline;
+//! * [`dispatch`] — the offline (static, identical-replica) dispatch shim
+//!   kept for bit-for-bit compatibility with the pre-control-plane sweeps.
 //!
 //! ```
 //! use samoyeds_gpu_sim::DeviceSpec;
@@ -43,6 +46,7 @@
 pub mod backend;
 pub mod batch;
 pub mod dispatch;
+pub mod fleet;
 pub mod memory;
 pub mod metrics;
 pub mod report;
@@ -50,15 +54,21 @@ pub mod request;
 pub mod scheduler;
 pub mod trace;
 
-pub use backend::{ExecutionBackend, MemoryBudget, SingleGpuBackend, StepCost, StepWorkload};
+pub use backend::{
+    ExecutionBackend, MemoryBudget, OverlapModel, SingleGpuBackend, StepCost, StepWorkload,
+};
 pub use batch::BatchLimits;
-pub use dispatch::{dispatch_trace, DispatchPolicy, FleetMetrics, ReplicaFleet};
+pub use dispatch::{dispatch_trace, DispatchPolicy, ReplicaFleet};
+pub use fleet::{
+    AutoscalePolicy, FleetConfig, FleetController, FleetMetrics, FleetObservation, NoAutoscale,
+    ReplicaBreakdown, ScaleDecision, ScaleEvent, ScaleKind, SloAutoscaler,
+};
 pub use memory::{MemoryModel, KV_DTYPE_BYTES};
 pub use metrics::{latency_summary, LatencySummary, ServingMetrics};
 pub use report::{compare_engines, render_markdown};
 pub use request::{CompletedRequest, Phase, Request, RunningRequest};
-pub use scheduler::{Scheduler, SchedulerConfig, SimulationResult, StepRecord};
-pub use trace::TraceConfig;
+pub use scheduler::{ReplicaDriver, Scheduler, SchedulerConfig, SimulationResult, StepRecord};
+pub use trace::{BurstPhase, BurstyTraceConfig, TraceConfig};
 
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;

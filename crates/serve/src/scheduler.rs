@@ -170,139 +170,344 @@ impl<B: ExecutionBackend> Scheduler<B> {
     }
 
     /// Run the trace to completion and return the full simulation record.
+    ///
+    /// This is the offline front door over [`ReplicaDriver`]: enqueue the
+    /// whole trace, drive the replica to drain, finish. Online callers (the
+    /// fleet controller) build the driver directly and interleave
+    /// [`ReplicaDriver::enqueue`] with [`ReplicaDriver::advance_to`].
     pub fn run(&self, trace: &[Request]) -> SimulationResult {
-        let limits = self.scfg.limits;
-        let memory = self.backend.memory();
-        let mut result = SimulationResult {
-            engine: self.backend.engine_kind(),
+        let mut driver = ReplicaDriver::new(&self.backend, self.scfg);
+        for request in trace {
+            driver.enqueue(*request);
+        }
+        driver.advance_to(f64::INFINITY);
+        driver.finish()
+    }
+}
+
+/// An incrementally-driven serving replica: the continuous-batching loop of
+/// [`Scheduler::run`], restructured so a control plane can interleave
+/// request routing with simulated execution.
+///
+/// The driver owns the replica's full runtime state — arrival queue, running
+/// set, KV reservations, simulated clock — and exposes it live (outstanding
+/// tokens, admission headroom, busy time), which is exactly what an online
+/// dispatcher needs to route each request *at its arrival time* instead of
+/// splitting the trace ahead of time. `enqueue` + `advance_to(∞)` reproduces
+/// the one-shot `run` bit for bit (pinned by the backend-equivalence suite).
+#[derive(Debug, Clone)]
+pub struct ReplicaDriver<B: ExecutionBackend> {
+    backend: B,
+    scfg: SchedulerConfig,
+    queue: VecDeque<Request>,
+    running: Vec<RunningRequest>,
+    /// KV tokens reserved for admitted requests at their full final length
+    /// (conservative: admission never needs preemption).
+    reserved_tokens: usize,
+    clock_ms: f64,
+    step_index: u64,
+    result: SimulationResult,
+}
+
+impl<B: ExecutionBackend> ReplicaDriver<B> {
+    /// Build a driver over `backend`.
+    ///
+    /// # Panics
+    /// Panics if any [`BatchLimits`] field is zero (see
+    /// [`Scheduler::from_backend`]).
+    pub fn new(backend: B, scfg: SchedulerConfig) -> Self {
+        assert!(
+            scfg.limits.max_running >= 1
+                && scfg.limits.max_batched_tokens >= 1
+                && scfg.limits.prefill_chunk >= 1,
+            "every BatchLimits field must be at least 1, got {:?}",
+            scfg.limits
+        );
+        let result = SimulationResult {
+            engine: backend.engine_kind(),
             completed: Vec::new(),
             rejected: Vec::new(),
             admitted: 0,
             steps: Vec::new(),
             makespan_ms: 0.0,
             peak_memory_bytes: 0.0,
-            budget_bytes: memory.budget_bytes(),
-            supported: self.backend.supports(self.backend.model()),
+            budget_bytes: backend.memory().budget_bytes(),
+            supported: backend.supports(backend.model()),
         };
-        if !result.supported {
-            result.rejected = trace.to_vec();
-            return result;
+        Self {
+            backend,
+            scfg,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            reserved_tokens: 0,
+            clock_ms: 0.0,
+            step_index: 0,
+            result,
         }
+    }
 
-        let mut queue: VecDeque<Request> = trace.to_vec().into();
-        let mut running: Vec<RunningRequest> = Vec::new();
-        // KV tokens reserved for admitted requests at their full final length
-        // (conservative: admission never needs preemption).
-        let mut reserved_tokens: usize = 0;
-        let mut clock_ms = 0.0f64;
-        let mut step_index = 0u64;
+    /// The backend the driver executes on.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
 
+    /// Hand the driver a request. Requests must arrive in nondecreasing
+    /// `arrival_ms` order; an unsupported engine/model pair rejects outright.
+    pub fn enqueue(&mut self, request: Request) {
+        if !self.result.supported {
+            self.result.rejected.push(request);
+            return;
+        }
+        debug_assert!(
+            self.queue
+                .back()
+                .is_none_or(|back| back.arrival_ms <= request.arrival_ms),
+            "requests must be enqueued in arrival order"
+        );
+        self.queue.push_back(request);
+    }
+
+    /// Whether the replica can serve its model at all: the kernels support
+    /// it and the weights (plus a minimal one-token step) fit the budget.
+    /// Capability-blind fleet surgery (e.g. scale-in victim selection) must
+    /// consult this so dead-weight replicas never satisfy a capacity floor.
+    pub fn can_serve_model(&self) -> bool {
+        self.result.supported && self.backend.memory().can_hold_model()
+    }
+
+    /// Whether the replica could ever admit `request` — the backend supports
+    /// its own model and an otherwise-empty replica fits the request's full
+    /// KV reservation. The admission-headroom gate a capability-aware
+    /// dispatcher checks before routing.
+    pub fn can_ever_admit(&self, request: &Request) -> bool {
+        self.result.supported
+            && self
+                .backend
+                .memory()
+                .fits(request.total_tokens(), self.scfg.limits.max_batched_tokens)
+    }
+
+    /// Simulated clock: the end of the last executed step (or the last idle
+    /// jump to an arrival).
+    pub fn clock_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Whether all handed-over work is finished.
+    pub fn is_drained(&self) -> bool {
+        self.queue.is_empty() && self.running.is_empty()
+    }
+
+    /// Requests waiting for admission.
+    pub fn queued_requests(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The admitted, still-running set.
+    pub fn running_requests(&self) -> &[RunningRequest] {
+        &self.running
+    }
+
+    /// Tokens of work still owed: queued requests in full plus the
+    /// unprefilled/undecoded remainder of every running request. This is the
+    /// *live* load signal — it decays as the replica makes progress, unlike
+    /// the frozen accumulate-forever dispatch counter.
+    pub fn outstanding_tokens(&self) -> usize {
+        let queued: usize = self.queue.iter().map(Request::total_tokens).sum();
+        let running: usize = self
+            .running
+            .iter()
+            .map(|r| {
+                (r.request.prompt_len - r.prefilled)
+                    + (r.request.output_len - r.decoded.min(r.request.output_len))
+            })
+            .sum();
+        queued + running
+    }
+
+    /// Completed requests so far, in completion order.
+    pub fn completed(&self) -> &[CompletedRequest] {
+        &self.result.completed
+    }
+
+    /// Executed steps so far.
+    pub fn steps(&self) -> &[StepRecord] {
+        &self.result.steps
+    }
+
+    /// Earliest arrival among requests that have not produced their first
+    /// token yet (queued or still prefilling) — the head-of-line waiting age
+    /// an SLO autoscaler watches.
+    pub fn oldest_unserved_arrival_ms(&self) -> Option<f64> {
+        let queued = self.queue.front().map(|r| r.arrival_ms);
+        let running = self
+            .running
+            .iter()
+            .filter(|r| r.first_token_ms.is_none())
+            .map(|r| r.request.arrival_ms)
+            .fold(None, |acc: Option<f64>, a| {
+                Some(acc.map_or(a, |b| b.min(a)))
+            });
+        match (queued, running) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Milliseconds of executed step time overlapping `[from_ms, to_ms)` —
+    /// the busy-time signal utilization-based scale-in watches.
+    pub fn busy_ms_between(&self, from_ms: f64, to_ms: f64) -> f64 {
+        let mut busy = 0.0;
+        for step in self.result.steps.iter().rev() {
+            let end = step.start_ms + step.time_ms;
+            if end <= from_ms {
+                break;
+            }
+            busy += (end.min(to_ms) - step.start_ms.max(from_ms)).max(0.0);
+        }
+        busy
+    }
+
+    /// Advance simulated time up to `until_ms`: admit arrived requests and
+    /// execute engine steps while the replica has work and its clock is
+    /// before `until_ms`. A step started before `until_ms` may finish after
+    /// it (requests arriving mid-step wait for the step boundary, exactly as
+    /// in the one-shot run). An idle replica never advances past `until_ms`.
+    pub fn advance_to(&mut self, until_ms: f64) {
+        if !self.result.supported {
+            return;
+        }
+        let limits = self.scfg.limits;
         loop {
             // Admission: FCFS, bounded by the running cap and the budget.
-            while running.len() < limits.max_running {
-                let Some(front) = queue.front() else { break };
-                if front.arrival_ms > clock_ms {
+            while self.running.len() < limits.max_running {
+                let Some(front) = self.queue.front() else {
+                    break;
+                };
+                if front.arrival_ms > self.clock_ms {
                     break;
                 }
-                let candidate = reserved_tokens + front.total_tokens();
-                if memory.fits(candidate, limits.max_batched_tokens) {
-                    let request = queue.pop_front().expect("front exists");
-                    reserved_tokens = candidate;
-                    result.admitted += 1;
-                    running.push(RunningRequest::new(request, clock_ms));
-                } else if running.is_empty() {
+                let candidate = self.reserved_tokens + front.total_tokens();
+                if self
+                    .backend
+                    .memory()
+                    .fits(candidate, limits.max_batched_tokens)
+                {
+                    let request = self.queue.pop_front().expect("front exists");
+                    self.reserved_tokens = candidate;
+                    self.result.admitted += 1;
+                    self.running
+                        .push(RunningRequest::new(request, self.clock_ms));
+                } else if self.running.is_empty() {
                     // Even an empty system cannot hold this request.
-                    result
+                    self.result
                         .rejected
-                        .push(queue.pop_front().expect("front exists"));
+                        .push(self.queue.pop_front().expect("front exists"));
                 } else {
                     break;
                 }
             }
 
-            if running.is_empty() {
-                match queue.front() {
-                    // Drained: done.
+            if self.running.is_empty() {
+                match self.queue.front() {
+                    // Drained: idle until more work is enqueued.
                     None => break,
-                    // Idle until the next arrival.
-                    Some(next) => {
-                        clock_ms = clock_ms.max(next.arrival_ms);
+                    // Idle-jump to the next arrival, but never past the
+                    // horizon — an event at `until_ms` may route new work.
+                    Some(next) if next.arrival_ms <= until_ms => {
+                        self.clock_ms = self.clock_ms.max(next.arrival_ms);
                         continue;
                     }
+                    Some(_) => break,
                 }
             }
 
-            let batch = build_step(&running, &limits);
-            debug_assert!(!batch.is_empty(), "running set with no schedulable work");
-            let cost = self.backend.step_cost(&StepWorkload {
-                batch: &batch,
-                running: &running,
-                step_index,
-            });
-            let time_ms = cost.total_ms();
-            let start_ms = clock_ms;
-            clock_ms += time_ms;
-            step_index += 1;
-
-            // Apply progress.
-            for &(i, chunk) in &batch.prefill {
-                let r = &mut running[i];
-                r.prefilled += chunk;
-                if r.prefilled == r.request.prompt_len {
-                    // The prefill's final forward produces the first output
-                    // token.
-                    r.decoded += 1;
-                    r.first_token_ms = Some(clock_ms);
-                }
+            if self.clock_ms >= until_ms {
+                break;
             }
-            for &i in &batch.decode {
-                let r = &mut running[i];
+            self.execute_step();
+        }
+    }
+
+    /// Execute exactly one engine step over the current running set.
+    fn execute_step(&mut self) {
+        let limits = self.scfg.limits;
+        let batch = build_step(&self.running, &limits);
+        debug_assert!(!batch.is_empty(), "running set with no schedulable work");
+        let cost = self.backend.step_cost(&StepWorkload {
+            batch: &batch,
+            running: &self.running,
+            step_index: self.step_index,
+        });
+        let time_ms = cost.total_ms();
+        let start_ms = self.clock_ms;
+        self.clock_ms += time_ms;
+        self.step_index += 1;
+
+        // Apply progress.
+        for &(i, chunk) in &batch.prefill {
+            let r = &mut self.running[i];
+            r.prefilled += chunk;
+            if r.prefilled == r.request.prompt_len {
+                // The prefill's final forward produces the first output
+                // token.
                 r.decoded += 1;
-                if r.first_token_ms.is_none() {
-                    r.first_token_ms = Some(clock_ms);
-                }
+                r.first_token_ms = Some(self.clock_ms);
             }
-
-            // Retire finished requests and release their KV reservation.
-            let mut still_running = Vec::with_capacity(running.len());
-            for r in running.drain(..) {
-                if r.decoded >= r.request.output_len {
-                    reserved_tokens -= r.request.total_tokens();
-                    result.completed.push(CompletedRequest {
-                        request: r.request,
-                        admitted_ms: r.admitted_ms,
-                        first_token_ms: r.first_token_ms.unwrap_or(clock_ms),
-                        finished_ms: clock_ms,
-                    });
-                } else {
-                    still_running.push(r);
-                }
+        }
+        for &i in &batch.decode {
+            let r = &mut self.running[i];
+            r.decoded += 1;
+            if r.first_token_ms.is_none() {
+                r.first_token_ms = Some(self.clock_ms);
             }
-            running = still_running;
-
-            // Account the step. KV during the step includes the tokens being
-            // written, which the per-request reservations upper-bound.
-            let kv_tokens: usize = running.iter().map(|r| r.context_tokens()).sum();
-            let memory_bytes = memory.footprint_bytes(kv_tokens, batch.total_tokens());
-            result.peak_memory_bytes = result.peak_memory_bytes.max(memory_bytes);
-            result.steps.push(StepRecord {
-                start_ms,
-                time_ms,
-                collective_ms: cost.collective_ms,
-                prefill_tokens: batch.prefill_tokens(),
-                decode_tokens: batch.decode.len(),
-                kv_tokens,
-                memory_bytes,
-                running: running.len(),
-            });
-
-            assert!(
-                step_index < 10_000_000,
-                "serving simulation exceeded the step safety cap"
-            );
         }
 
-        result.makespan_ms = clock_ms;
-        result
+        // Retire finished requests and release their KV reservation.
+        let mut still_running = Vec::with_capacity(self.running.len());
+        for r in self.running.drain(..) {
+            if r.decoded >= r.request.output_len {
+                self.reserved_tokens -= r.request.total_tokens();
+                self.result.completed.push(CompletedRequest {
+                    request: r.request,
+                    admitted_ms: r.admitted_ms,
+                    first_token_ms: r.first_token_ms.unwrap_or(self.clock_ms),
+                    finished_ms: self.clock_ms,
+                });
+            } else {
+                still_running.push(r);
+            }
+        }
+        self.running = still_running;
+
+        // Account the step. KV during the step includes the tokens being
+        // written, which the per-request reservations upper-bound.
+        let kv_tokens: usize = self.running.iter().map(|r| r.context_tokens()).sum();
+        let memory_bytes = self
+            .backend
+            .memory()
+            .footprint_bytes(kv_tokens, batch.total_tokens());
+        self.result.peak_memory_bytes = self.result.peak_memory_bytes.max(memory_bytes);
+        self.result.steps.push(StepRecord {
+            start_ms,
+            time_ms,
+            collective_ms: cost.collective_ms,
+            prefill_tokens: batch.prefill_tokens(),
+            decode_tokens: batch.decode.len(),
+            kv_tokens,
+            memory_bytes,
+            running: self.running.len(),
+        });
+
+        assert!(
+            self.step_index < 10_000_000,
+            "serving simulation exceeded the step safety cap"
+        );
+    }
+
+    /// Close out the run and return the full simulation record.
+    pub fn finish(mut self) -> SimulationResult {
+        self.result.makespan_ms = self.clock_ms;
+        self.result
     }
 }

@@ -1,0 +1,184 @@
+//! Compatibility-shim equivalence suite: the offline `dispatch_trace` /
+//! `ReplicaFleet` path must reproduce the pre-control-plane fleet results
+//! bit for bit.
+//!
+//! `legacy` below freezes the dispatcher and the fleet aggregation exactly
+//! as they existed before the online `serve::fleet` redesign: round-robin
+//! and the accumulate-forever least-outstanding counter, one `Scheduler`
+//! run per shard, pooled latency summaries over the shard results. Running
+//! both on shared seeded traces and asserting exact `f64` equality proves
+//! the redesign kept the static path intact while the default
+//! `ReplicaFleet` policy maps onto the frozen variant.
+
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+use samoyeds_serve::{
+    dispatch_trace, DispatchPolicy, ReplicaFleet, Scheduler, SchedulerConfig, TraceConfig,
+};
+
+/// The pre-redesign dispatcher and fleet aggregation, frozen for comparison.
+mod legacy {
+    use samoyeds_serve::metrics::{latency_summary, LatencySummary};
+    use samoyeds_serve::request::Request;
+    use samoyeds_serve::scheduler::SimulationResult;
+
+    /// Verbatim pre-redesign `dispatch_trace`: round-robin, or an
+    /// outstanding-token counter that only ever grows.
+    pub fn dispatch_trace_frozen(
+        trace: &[Request],
+        replicas: usize,
+        least_outstanding: bool,
+    ) -> Vec<Vec<Request>> {
+        assert!(replicas >= 1);
+        let mut shards: Vec<Vec<Request>> = vec![Vec::new(); replicas];
+        if least_outstanding {
+            let mut outstanding = vec![0usize; replicas];
+            for r in trace {
+                let target = (0..replicas)
+                    .min_by_key(|&g| outstanding[g])
+                    .expect("replicas >= 1");
+                outstanding[target] += r.total_tokens();
+                shards[target].push(*r);
+            }
+        } else {
+            for (i, r) in trace.iter().enumerate() {
+                shards[i % replicas].push(*r);
+            }
+        }
+        shards
+    }
+
+    /// Verbatim pre-redesign fleet aggregation over per-shard results.
+    pub struct LegacyFleetMetrics {
+        pub completed: usize,
+        pub rejected: usize,
+        pub output_tokens_per_s: f64,
+        pub request_latency: LatencySummary,
+        pub ttft: LatencySummary,
+        pub tpot: LatencySummary,
+        pub makespan_ms: f64,
+    }
+
+    pub fn aggregate(results: &[SimulationResult]) -> LegacyFleetMetrics {
+        let latencies: Vec<f64> = results
+            .iter()
+            .flat_map(|r| r.completed.iter().map(|c| c.latency_ms()))
+            .collect();
+        let ttfts: Vec<f64> = results
+            .iter()
+            .flat_map(|r| r.completed.iter().map(|c| c.ttft_ms()))
+            .collect();
+        let tpots: Vec<f64> = results
+            .iter()
+            .flat_map(|r| r.completed.iter().filter_map(|c| c.tpot_ms()))
+            .collect();
+        let makespan_ms = results.iter().map(|r| r.makespan_ms).fold(0.0, f64::max);
+        let output_tokens: usize = results.iter().map(|r| r.output_tokens()).sum();
+        LegacyFleetMetrics {
+            completed: results.iter().map(|r| r.completed.len()).sum(),
+            rejected: results.iter().map(|r| r.rejected.len()).sum(),
+            output_tokens_per_s: if makespan_ms > 0.0 {
+                output_tokens as f64 / (makespan_ms / 1e3)
+            } else {
+                0.0
+            },
+            request_latency: latency_summary(&latencies),
+            ttft: latency_summary(&ttfts),
+            tpot: latency_summary(&tpots),
+            makespan_ms,
+        }
+    }
+}
+
+fn traces() -> Vec<Vec<samoyeds_serve::Request>> {
+    [
+        TraceConfig {
+            num_requests: 24,
+            arrival_rate_rps: 16.0,
+            prompt_len_range: (32, 256),
+            output_len_range: (4, 16),
+            seed: 3,
+        },
+        TraceConfig {
+            num_requests: 40,
+            arrival_rate_rps: 6.0,
+            prompt_len_range: (64, 512),
+            output_len_range: (8, 64),
+            seed: 11,
+        },
+        TraceConfig {
+            num_requests: 7,
+            arrival_rate_rps: 30.0,
+            prompt_len_range: (16, 64),
+            output_len_range: (2, 8),
+            seed: 29,
+        },
+    ]
+    .iter()
+    .map(TraceConfig::generate)
+    .collect()
+}
+
+#[test]
+fn frozen_dispatch_reproduces_the_legacy_shards_exactly() {
+    for trace in traces() {
+        for replicas in [1usize, 2, 3, 5] {
+            let legacy_lot = legacy::dispatch_trace_frozen(&trace, replicas, true);
+            let new_lot = dispatch_trace(
+                &trace,
+                replicas,
+                DispatchPolicy::LeastOutstandingTokensFrozen,
+            );
+            assert_eq!(legacy_lot, new_lot);
+            let legacy_rr = legacy::dispatch_trace_frozen(&trace, replicas, false);
+            let new_rr = dispatch_trace(&trace, replicas, DispatchPolicy::RoundRobin);
+            assert_eq!(legacy_rr, new_rr);
+        }
+    }
+}
+
+#[test]
+fn replica_fleet_reproduces_the_legacy_aggregation_bit_for_bit() {
+    let device = DeviceSpec::a100_40g();
+    let config = MoeModelConfig::qwen2_moe();
+    let scfg = SchedulerConfig::default();
+    for trace in traces() {
+        for replicas in [1usize, 2, 4] {
+            for engine in [EngineKind::Samoyeds, EngineKind::Transformers] {
+                // The legacy pipeline: frozen shards, one scheduler run per
+                // shard, frozen aggregation.
+                let shards = legacy::dispatch_trace_frozen(&trace, replicas, true);
+                let results: Vec<_> = shards
+                    .iter()
+                    .map(|shard| {
+                        Scheduler::new(device.clone(), config.clone(), engine, scfg).run(shard)
+                    })
+                    .collect();
+                let legacy = legacy::aggregate(&results);
+
+                // The shim, at its (frozen) defaults.
+                let fleet = ReplicaFleet::new(device.clone(), config.clone(), engine, replicas)
+                    .metrics(&trace);
+
+                assert_eq!(fleet.completed, legacy.completed);
+                assert_eq!(fleet.rejected, legacy.rejected);
+                assert_eq!(fleet.makespan_ms, legacy.makespan_ms);
+                assert_eq!(fleet.output_tokens_per_s, legacy.output_tokens_per_s);
+                assert_eq!(fleet.request_latency, legacy.request_latency);
+                assert_eq!(fleet.ttft, legacy.ttft);
+                assert_eq!(fleet.tpot, legacy.tpot);
+                // The extended breakdown agrees with the shards.
+                assert_eq!(fleet.per_replica.len(), replicas);
+                for (breakdown, shard) in fleet.per_replica.iter().zip(&shards) {
+                    let ids: Vec<u64> = shard.iter().map(|r| r.id).collect();
+                    assert_eq!(breakdown.assigned_ids, ids);
+                    assert_eq!(breakdown.assigned, shard.len());
+                }
+                // Static shim: no scaling timeline, nothing unroutable.
+                assert!(fleet.scale_events.is_empty());
+                assert!(fleet.unroutable_ids.is_empty());
+            }
+        }
+    }
+}
