@@ -2,7 +2,9 @@
 //! sharding and all-to-all accounting at increasing GPU counts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use samoyeds_dist::{ClusterConfig, ClusterEngine, ClusterSimulator, PlacementStrategy};
+use samoyeds_dist::{
+    ClusterConfig, ClusterEngine, ClusterSimulator, ClusterTopology, LinkSpec, PlacementStrategy,
+};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::router::TopKRouter;
@@ -48,5 +50,36 @@ fn bench_placement_strategies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cluster_step, bench_placement_strategies);
+fn bench_hierarchical_step(c: &mut Criterion) {
+    let model = MoeModelConfig::qwen2_moe();
+    let plan = TopKRouter::for_config(&model, 42)
+        .with_skew(1.5)
+        .route(4096);
+    let mut group = c.benchmark_group("cluster_step_topologies");
+    for (label, islands, per_island) in [("1x8", 1usize, 8usize), ("2x4", 2, 4), ("4x2", 4, 2)] {
+        group.bench_with_input(BenchmarkId::new("layout", label), &label, |b, _| {
+            let topology = ClusterTopology::symmetric(
+                islands,
+                per_island,
+                LinkSpec::nvlink3(),
+                LinkSpec::infiniband_ndr(),
+            )
+            .expect("valid layout");
+            let sim = ClusterSimulator::new(
+                ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds)
+                    .with_topology(topology),
+                model.clone(),
+            );
+            b.iter(|| sim.step(&plan).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cluster_step,
+    bench_placement_strategies,
+    bench_hierarchical_step
+);
 criterion_main!(benches);

@@ -2,8 +2,8 @@
 
 use rayon::prelude::*;
 use samoyeds_dist::{
-    render_fleet_sizing, render_placement_comparison, ClusterReport, ClusterServingReport,
-    FleetAutoscaleReport,
+    render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
+    ClusterServingReport, ClusterTopology, FleetAutoscaleReport, LinkSpec, TopologySweepReport,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_kernels::autotune::{adapt_for_device, suggested_adaptation, Adaptation};
@@ -76,6 +76,13 @@ pub enum Experiment {
     /// fewer scale-out events than dense because each compressed replica
     /// carries more load.
     FleetAutoscale,
+    /// Beyond the paper: hierarchical interconnect topologies — the same
+    /// 8-GPU fleet priced as one flat NVLink island, as 2×4 NVLink islands
+    /// on an InfiniBand spine, and as 4×2 PCIe hosts on the same spine,
+    /// under dense/VENOM/Samoyeds weights and skewed routing. Shows where
+    /// the spine becomes the straggler, and island-aware hot-expert
+    /// replication keeping traffic off it.
+    TopologySweep,
 }
 
 impl Experiment {
@@ -100,6 +107,7 @@ impl Experiment {
             Experiment::ClusterSweep => "cluster_sweep",
             Experiment::ClusterServing => "cluster_serving",
             Experiment::FleetAutoscale => "fleet_autoscale",
+            Experiment::TopologySweep => "topology_sweep",
         }
     }
 }
@@ -125,6 +133,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::ClusterSweep,
         Experiment::ClusterServing,
         Experiment::FleetAutoscale,
+        Experiment::TopologySweep,
     ]
 }
 
@@ -149,6 +158,7 @@ pub fn run_experiment(exp: Experiment) -> Vec<String> {
         Experiment::ClusterSweep => cluster_sweep(),
         Experiment::ClusterServing => cluster_serving(),
         Experiment::FleetAutoscale => fleet_autoscale(),
+        Experiment::TopologySweep => topology_sweep(),
     }
 }
 
@@ -827,6 +837,39 @@ pub fn fleet_autoscale() -> Vec<String> {
     rows
 }
 
+/// Beyond the paper: hierarchical interconnect topologies. One skewed
+/// routing plan over the same 8-GPU fleet is priced as a flat NVLink
+/// island, as 2×4 NVLink islands on an InfiniBand NDR spine, and as 4×2
+/// PCIe hosts on the same spine; the headline is the 2×4 cell turning
+/// spine-bound — the leader exchange over the 50 GB/s spine exceeds the
+/// whole flat-NVLink collective — and the topology-aware placement table
+/// shows per-island hot-expert replication keeping traffic off the spine.
+pub fn topology_sweep() -> Vec<String> {
+    let model = MoeModelConfig::qwen2_moe();
+    let report = TopologySweepReport::sweep(&model, 4096, 1.5, 42);
+    let mut rows = report.render_markdown();
+    rows.push(String::new());
+    match report.spine_bound_contrast() {
+        Some((hier, flat, spine)) => rows.push(format!(
+            "-> spine-bound: on 2×4 NVLink+IB the collectives cost {hier:.3} ms/layer \
+             ({spine:.3} ms on the spine alone) vs {flat:.3} ms on flat NVLink"
+        )),
+        None => rows.push("-> no spine-bound contrast cell in this sweep".to_string()),
+    }
+    rows.push(String::new());
+    let two_by_four =
+        ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+            .expect("2x4 is a valid layout");
+    rows.extend(render_topology_placement(
+        &model,
+        &two_by_four,
+        4096,
+        1.5,
+        9,
+    ));
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -846,7 +889,7 @@ mod tests {
             let rows = run_experiment(exp);
             assert!(rows.len() >= 3, "{} rows {}", exp.id(), rows.len());
         }
-        assert_eq!(all_experiments().len(), 18);
+        assert_eq!(all_experiments().len(), 19);
     }
 
     #[test]
@@ -862,6 +905,22 @@ mod tests {
             "{rows:?}"
         );
         assert!(rows.iter().any(|r| r.contains("A100 pod + 4070S")));
+    }
+
+    #[test]
+    fn topology_sweep_report_contains_the_spine_bound_contrast() {
+        let rows = topology_sweep();
+        // The 3x3 sweep table, the headline, and the placement table.
+        assert!(rows.len() >= 3 + 9 + 2 + 6, "{} rows", rows.len());
+        // Text unique to the Some branch of the headline: a sweep that
+        // loses the spine-bound cell fails here instead of matching the
+        // fallback.
+        assert!(
+            rows.iter().any(|r| r.contains("-> spine-bound")),
+            "{rows:?}"
+        );
+        assert!(rows.iter().any(|r| r.contains("InfiniBand NDR spine")));
+        assert!(rows.iter().any(|r| r.contains("replicate-hot-island")));
     }
 
     #[test]

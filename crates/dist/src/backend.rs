@@ -61,6 +61,24 @@ impl ClusterAdmissionBudget {
                 let hot = hot.min(experts);
                 hot + (experts - hot).div_ceil(num_gpus)
             }
+            // Per-island replication concentrates the hot replicas on at
+            // most `islands * hot` ranks; a skewed hot load can then repel
+            // the greedy cold pass entirely onto the remaining ranks, so
+            // the straggler is either a replica host (≤ hot replicas plus
+            // a balanced cold share) or a cold-packed non-replica rank
+            // (ceil share over the ranks the cold pass is left with).
+            PlacementStrategy::ReplicateHotPerIsland { hot } => {
+                let hot = hot.min(experts);
+                let cold = experts - hot;
+                let islands = cluster.resolved_topology().num_islands().min(num_gpus);
+                let replica_hosts = (islands * hot).min(num_gpus);
+                let balanced = hot + cold.div_ceil(num_gpus);
+                if replica_hosts < num_gpus {
+                    balanced.max(cold.div_ceil(num_gpus - replica_hosts))
+                } else {
+                    balanced
+                }
+            }
             PlacementStrategy::RoundRobin | PlacementStrategy::CapacityGreedy => {
                 experts.div_ceil(num_gpus)
             }
@@ -116,11 +134,27 @@ impl ClusterBackend {
     /// cost-model knobs (attention kind, routing seed, step overhead) from
     /// the scheduler configuration — the same contract as
     /// [`SingleGpuBackend::new`](samoyeds_serve::SingleGpuBackend::new).
+    ///
+    /// Panics if the cluster's topology is invalid or spans a different
+    /// number of GPUs than the cluster: a broken topology is a
+    /// configuration bug, and failing here beats a misleading
+    /// admission-vs-placement panic in the middle of a running trace.
     pub fn new(cluster: ClusterConfig, model: MoeModelConfig, scfg: &SchedulerConfig) -> Self {
+        let budget = ClusterAdmissionBudget::new(&cluster, &model);
+        let router = TopKRouter::for_config(&model, scfg.routing_seed);
+        let sim = ClusterSimulator::new(cluster, model);
+        assert_eq!(
+            sim.topology().num_gpus(),
+            sim.cluster().num_gpus,
+            "cluster topology spans {} GPUs but the cluster has {}",
+            sim.topology().num_gpus(),
+            sim.cluster().num_gpus,
+        );
+        sim.topology().validate().expect("invalid cluster topology");
         Self {
-            budget: ClusterAdmissionBudget::new(&cluster, &model),
-            router: TopKRouter::for_config(&model, scfg.routing_seed),
-            sim: ClusterSimulator::new(cluster, model),
+            budget,
+            router,
+            sim,
             attention: scfg.attention,
             routing_seed: scfg.routing_seed,
             step_overhead_ms: scfg.step_overhead_ms,
@@ -203,7 +237,13 @@ impl ExecutionBackend for ClusterBackend {
         let loads = plan.expert_loads();
         let placement = cluster
             .strategy
-            .place(&loads, gpus, self.sim.memory(), kv_local, step_local)
+            .place_on(
+                &loads,
+                self.sim.topology(),
+                self.sim.memory(),
+                kv_local,
+                step_local,
+            )
             .or_else(|_| {
                 PlacementStrategy::RoundRobin.place(
                     &loads,
@@ -249,7 +289,7 @@ impl ExecutionBackend for ClusterBackend {
             "cluster {}x {} ({}) · {} · {} · {}",
             cluster.num_gpus,
             cluster.device.name,
-            cluster.link.name,
+            self.sim.topology().name(),
             cluster.engine.name(),
             cluster.strategy.name(),
             self.sim.model().name,
@@ -393,6 +433,50 @@ mod tests {
         assert!(four.memory().footprint_bytes(4096, 512) < one.memory().footprint_bytes(4096, 512));
         // Qwen2-MoE has 60 routed experts: ceil(60 / 4) = 15 per rank.
         assert_eq!(four.admission_budget().max_experts_per_gpu(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "topology spans")]
+    fn backend_rejects_a_mismatched_topology_at_construction() {
+        use crate::link::LinkSpec;
+        use crate::topology::ClusterTopology;
+        // A topology over the wrong GPU count must fail while building the
+        // backend, not as a misleading admission panic mid-trace.
+        let _ = ClusterBackend::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds)
+                .with_topology(ClusterTopology::flat(8, LinkSpec::nvlink3())),
+            MoeModelConfig::qwen2_moe(),
+            &SchedulerConfig::default(),
+        );
+    }
+
+    #[test]
+    fn per_island_replication_budget_accounts_for_cold_packing() {
+        use crate::link::LinkSpec;
+        use crate::topology::ClusterTopology;
+        // Regression: a skewed hot load can repel the greedy cold pass
+        // entirely onto the non-replica ranks, so the straggler owns more
+        // than the balanced `hot + ceil(cold/g)` share.
+        let model = MoeModelConfig::qwen2_moe(); // 60 routed experts
+        let topology =
+            ClusterTopology::symmetric(4, 2, LinkSpec::pcie_gen4(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        let cluster = ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds)
+            .with_topology(topology)
+            .with_strategy(PlacementStrategy::ReplicateHotPerIsland { hot: 1 });
+        let budget = ClusterAdmissionBudget::new(&cluster, &model);
+        // hot=1 over 4 islands leaves 4 non-replica ranks: the cold pass
+        // can pack ceil(59/4) = 15 experts on one of them — more than the
+        // balanced 1 + ceil(59/8) = 9.
+        assert_eq!(budget.max_experts_per_gpu(), 15);
+        // On a flat topology the strategy degenerates to hot-first greedy
+        // and the bound tightens accordingly.
+        let flat = ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds)
+            .with_strategy(PlacementStrategy::ReplicateHotPerIsland { hot: 1 });
+        assert_eq!(
+            ClusterAdmissionBudget::new(&flat, &model).max_experts_per_gpu(),
+            9
+        );
     }
 
     #[test]

@@ -13,10 +13,11 @@
 
 use crate::link::LinkSpec;
 use crate::placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, PlacementStrategy};
+use crate::topology::{ClusterTopology, FlowMatrix};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::router::RoutingPlan;
-use samoyeds_sparse::Result;
+use samoyeds_sparse::{Result, SparseError};
 use serde::{Deserialize, Serialize};
 
 /// A homogeneous expert-parallel cluster.
@@ -30,13 +31,19 @@ pub struct ClusterConfig {
     pub engine: ClusterEngine,
     /// Expert placement strategy.
     pub strategy: PlacementStrategy,
-    /// The fabric binding the ranks together.
+    /// The fabric binding the ranks together when no explicit topology is
+    /// set (a single flat island over this link).
     pub link: LinkSpec,
+    /// Optional hierarchical interconnect. `None` means one flat island
+    /// over [`ClusterConfig::link`], which reproduces the single-level α-β
+    /// collective cost exactly (pinned by `topology_equivalence`).
+    pub topology: Option<ClusterTopology>,
 }
 
 impl ClusterConfig {
     /// A cluster of `num_gpus` × `device` running `engine`, with the
-    /// device's native interconnect and capacity-greedy placement.
+    /// device's native interconnect (one flat island) and capacity-greedy
+    /// placement.
     pub fn new(device: DeviceSpec, num_gpus: usize, engine: ClusterEngine) -> Self {
         Self {
             link: LinkSpec::for_device(&device),
@@ -44,6 +51,7 @@ impl ClusterConfig {
             num_gpus,
             engine,
             strategy: PlacementStrategy::CapacityGreedy,
+            topology: None,
         }
     }
 
@@ -53,10 +61,37 @@ impl ClusterConfig {
         self
     }
 
-    /// Replace the interconnect.
+    /// Replace the flat interconnect (ignored once
+    /// [`ClusterConfig::with_topology`] sets an explicit topology).
     pub fn with_link(mut self, link: LinkSpec) -> Self {
         self.link = link;
         self
+    }
+
+    /// Set an explicit hierarchical topology (NVLink islands + spine). Its
+    /// GPU count must match `num_gpus`: a mismatch surfaces as a step
+    /// error from [`ClusterSimulator::step`] and as a construction panic
+    /// from `ClusterBackend::new`.
+    pub fn with_topology(mut self, topology: ClusterTopology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Deploy the cluster in its device's natural multi-node form factor:
+    /// islands of [`DeviceSpec::gpus_per_node`](samoyeds_gpu_sim::DeviceSpec::gpus_per_node)
+    /// on the native fabric, stitched by an InfiniBand NDR spine once the
+    /// fleet outgrows one node (see [`ClusterTopology::for_device`]).
+    pub fn with_node_topology(mut self) -> Self {
+        self.topology = Some(ClusterTopology::for_device(&self.device, self.num_gpus));
+        self
+    }
+
+    /// The effective topology: the explicit one, or a single flat island
+    /// over [`ClusterConfig::link`].
+    pub fn resolved_topology(&self) -> ClusterTopology {
+        self.topology
+            .clone()
+            .unwrap_or_else(|| ClusterTopology::flat(self.num_gpus, self.link.clone()))
     }
 }
 
@@ -74,6 +109,20 @@ pub struct ClusterStepReport {
     pub per_gpu_compute_ms: Vec<f64>,
     /// Dispatch + combine all-to-all time of one layer, milliseconds.
     pub all_to_all_ms: f64,
+    /// Intra-island share of the collectives (dispatch + combine),
+    /// milliseconds. Equals `all_to_all_ms` on a flat topology without
+    /// pair overrides.
+    pub intra_island_ms: f64,
+    /// Spine (inter-island leader exchange) share of the collectives
+    /// (dispatch + combine), milliseconds. Exactly 0 on a flat topology or
+    /// when no token crosses an island boundary.
+    pub spine_ms: f64,
+    /// Dedicated pair-override link share of the collectives (dispatch +
+    /// combine), milliseconds; runs concurrently with the phases, so
+    /// `all_to_all_ms = max(intra_island_ms + spine_ms, override_ms)`.
+    pub override_ms: f64,
+    /// Bytes crossing island boundaries in one layer (dispatch + combine).
+    pub cross_island_bytes: f64,
     /// One layer's step time: slowest GPU + both collectives.
     pub layer_time_ms: f64,
     /// Full-model step time (`layer_time_ms` × layers).
@@ -119,6 +168,16 @@ impl ClusterStepReport {
         }
     }
 
+    /// Fraction of the layer step spent on the inter-island spine — the
+    /// "spine-bound" diagnostic of the topology sweep.
+    pub fn spine_fraction(&self) -> f64 {
+        if self.layer_time_ms > 0.0 {
+            self.spine_ms / self.layer_time_ms
+        } else {
+            0.0
+        }
+    }
+
     /// Batch tokens per second through the full model's MoE stack.
     pub fn tokens_per_s(&self) -> f64 {
         if self.model_time_ms > 0.0 {
@@ -136,6 +195,7 @@ pub struct ClusterSimulator {
     cluster: ClusterConfig,
     model: MoeModelConfig,
     memory: ClusterMemoryModel,
+    topology: ClusterTopology,
 }
 
 impl ClusterSimulator {
@@ -143,6 +203,7 @@ impl ClusterSimulator {
     pub fn new(cluster: ClusterConfig, model: MoeModelConfig) -> Self {
         Self {
             memory: ClusterMemoryModel::new(&cluster.device, cluster.engine, &model),
+            topology: cluster.resolved_topology(),
             cluster,
             model,
         }
@@ -151,6 +212,11 @@ impl ClusterSimulator {
     /// The cluster description.
     pub fn cluster(&self) -> &ClusterConfig {
         &self.cluster
+    }
+
+    /// The interconnect topology collectives are priced over.
+    pub fn topology(&self) -> &ClusterTopology {
+        &self.topology
     }
 
     /// The model being served.
@@ -198,12 +264,13 @@ impl ClusterSimulator {
     }
 
     /// Place the plan's experts under the configured strategy and budget,
-    /// balancing the predicted per-expert cost profile.
+    /// balancing the predicted per-expert cost profile (topology-aware:
+    /// island-replicating strategies see the island structure).
     pub fn placement_for(&self, plan: &RoutingPlan) -> Result<ExpertPlacement> {
         let per_gpu = plan.num_tokens.div_ceil(self.cluster.num_gpus.max(1));
-        self.cluster.strategy.place(
+        self.cluster.strategy.place_on(
             &self.expert_cost_profile(plan),
-            self.cluster.num_gpus,
+            &self.topology,
             &self.memory,
             per_gpu,
             per_gpu,
@@ -241,7 +308,47 @@ impl ClusterSimulator {
         placement: ExpertPlacement,
     ) -> Result<ClusterStepReport> {
         let g = self.cluster.num_gpus;
-        let shards = plan.shard(placement.assignments())?;
+        if self.topology.num_gpus() != g {
+            return Err(SparseError::config(format!(
+                "topology spans {} GPUs but the cluster has {g}",
+                self.topology.num_gpus()
+            )));
+        }
+        self.topology.validate()?;
+        // On a hierarchical topology a replicated expert's tokens dispatch
+        // to a replica inside their own island (zero spine bytes for that
+        // expert), round-robin across the island's replicas so a strategy
+        // like ReplicateHot keeps splitting the hot load within each
+        // island; the flat path keeps the legacy round-robin split so a
+        // single-island topology reproduces today's numbers exactly.
+        let shards = if self.topology.num_islands() > 1 {
+            let island_of = self.topology.island_lookup();
+            let islands = self.topology.num_islands();
+            // Per (expert, island): the indices (into the expert's owner
+            // list, assignment-iteration order — the order `shard_with`
+            // presents) of the replicas living in that island, precomputed
+            // once so the per-token pick is a table lookup.
+            let mut island_replicas: Vec<Vec<Vec<usize>>> =
+                vec![vec![Vec::new(); islands]; plan.num_experts()];
+            let mut seen = vec![0usize; plan.num_experts()];
+            for (rank, owned) in placement.assignments().iter().enumerate() {
+                // Out-of-range ids fall through to shard_with's validation.
+                for &e in owned.iter().filter(|&&e| e < plan.num_experts()) {
+                    island_replicas[e][island_of[rank]].push(seen[e]);
+                    seen[e] += 1;
+                }
+            }
+            plan.shard_with(placement.assignments(), |e, t, owners| {
+                let same = &island_replicas[e][island_of[t as usize % g]];
+                if same.is_empty() {
+                    t as usize % owners.len()
+                } else {
+                    same[t as usize % same.len()]
+                }
+            })?
+        } else {
+            plan.shard(placement.assignments())?
+        };
         let locals = self.local_tokens(plan.num_tokens);
         let engine = self.cluster.engine.engine(&self.cluster.device);
 
@@ -273,25 +380,26 @@ impl ClusterSimulator {
 
         // All-to-all: a token routed to an expert on another GPU crosses
         // the fabric on dispatch and its expert output crosses back on
-        // combine. Exact per-endpoint byte counts from the shard map.
+        // combine. Exact per-pair byte flows from the shard map, priced by
+        // the topology (intra-island phase + spine leader exchange; a flat
+        // topology degenerates to the single-level α-β cost over the
+        // per-GPU totals — every accumulated value is an exact integer in
+        // f64, so the row sums match the legacy per-GPU accumulation bit
+        // for bit).
         let token_bytes = self.model.hidden_size as f64 * 2.0;
-        let mut send = vec![0.0f64; g];
-        let mut recv = vec![0.0f64; g];
+        let mut flows = FlowMatrix::new(g);
         for (gpu, shard) in shards.iter().enumerate() {
             for tokens in &shard.expert_tokens {
                 for &t in tokens {
-                    let src = t as usize % g;
-                    if src != gpu {
-                        send[src] += token_bytes;
-                        recv[gpu] += token_bytes;
-                    }
+                    flows.add(t as usize % g, gpu, token_bytes);
                 }
             }
         }
-        // Combine moves the same bytes in reverse, and the α-β model is
-        // symmetric in its endpoints, so the step pays the dispatch
+        // Combine moves the same bytes in reverse, and both phase costs are
+        // symmetric in their endpoints, so the step pays the dispatch
         // collective twice.
-        let all_to_all_ms = 2.0 * self.cluster.link.all_to_all_ms(&send, &recv);
+        let cost = self.topology.all_to_all_ms(&flows);
+        let all_to_all_ms = 2.0 * cost.total_ms();
 
         let straggler = per_gpu_compute_ms.iter().fold(0.0f64, |m, &t| m.max(t));
         let layer_time_ms = straggler + all_to_all_ms;
@@ -301,6 +409,10 @@ impl ClusterSimulator {
             placement,
             per_gpu_compute_ms,
             all_to_all_ms,
+            intra_island_ms: 2.0 * cost.intra_ms,
+            spine_ms: 2.0 * cost.spine_ms,
+            override_ms: 2.0 * cost.override_ms,
+            cross_island_bytes: 2.0 * cost.cross_island_bytes,
             layer_time_ms,
             model_time_ms: layer_time_ms * self.model.num_layers as f64,
             sharded_assignments,
@@ -385,6 +497,52 @@ mod tests {
     }
 
     #[test]
+    fn empty_steps_under_a_hierarchical_topology_stay_zero_and_finite() {
+        // Regression: the degenerate shapes of the topology model — an
+        // empty routing plan over a 2x4 island layout, and a 1-island-of-1
+        // topology on a single GPU — price to well-defined zeros, never
+        // NaN, and the spine phase of a traffic-free step costs exactly 0.
+        let config = MoeModelConfig::qwen2_moe();
+        let empty = TopKRouter::for_config(&config, 42).route(0);
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        for engine in ClusterEngine::all() {
+            let sim = ClusterSimulator::new(
+                ClusterConfig::new(DeviceSpec::a100_40g(), 8, engine)
+                    .with_topology(topology.clone()),
+                config.clone(),
+            );
+            let report = sim.step(&empty).unwrap();
+            assert_eq!(report.all_to_all_ms, 0.0);
+            assert_eq!(report.intra_island_ms, 0.0);
+            assert_eq!(report.spine_ms, 0.0);
+            assert_eq!(report.cross_island_bytes, 0.0);
+            assert_eq!(report.tokens_per_s(), 0.0);
+            assert!(report.spine_fraction().is_finite());
+            assert!(report.all_to_all_fraction().is_finite());
+            for u in report.utilization() {
+                assert!(u.is_finite() && (0.0..=1.0).contains(&u));
+            }
+        }
+        // 1 island of 1 GPU: no peers, no phases, but real compute.
+        let single = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 1, ClusterEngine::Samoyeds).with_topology(
+                ClusterTopology::symmetric(1, 1, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                    .unwrap(),
+            ),
+            config.clone(),
+        );
+        let report = single
+            .step(&TopKRouter::for_config(&config, 42).route(512))
+            .unwrap();
+        assert_eq!(report.all_to_all_ms, 0.0);
+        assert_eq!(report.spine_ms, 0.0);
+        assert_eq!(report.cross_island_bytes, 0.0);
+        assert!(report.straggler_ms() > 0.0);
+    }
+
+    #[test]
     fn hand_built_zero_time_report_is_guarded() {
         // The guards themselves, independent of the simulator: a report with
         // literally zero step time must not divide by zero.
@@ -397,12 +555,17 @@ mod tests {
             },
             per_gpu_compute_ms: vec![0.0, 0.0],
             all_to_all_ms: 0.0,
+            intra_island_ms: 0.0,
+            spine_ms: 0.0,
+            override_ms: 0.0,
+            cross_island_bytes: 0.0,
             layer_time_ms: 0.0,
             model_time_ms: 0.0,
             sharded_assignments: 0,
         };
         assert_eq!(report.tokens_per_s(), 0.0);
         assert_eq!(report.all_to_all_fraction(), 0.0);
+        assert_eq!(report.spine_fraction(), 0.0);
         assert_eq!(report.utilization(), vec![0.0, 0.0]);
         assert_eq!(report.mean_compute_ms(), 0.0);
     }
@@ -485,6 +648,185 @@ mod tests {
             t_greedy.straggler_ms(),
             t_rr.straggler_ms()
         );
+    }
+
+    #[test]
+    fn hierarchical_topology_splits_collectives_into_intra_and_spine() {
+        let config = MoeModelConfig::qwen2_moe();
+        let plan = plan(&config, 2048);
+        let base = ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds);
+        let flat = ClusterSimulator::new(base.clone(), config.clone());
+        let hier = ClusterSimulator::new(
+            base.with_topology(
+                ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                    .unwrap(),
+            ),
+            config,
+        );
+        let f = flat.step(&plan).unwrap();
+        let h = hier.step(&plan).unwrap();
+        // Flat: everything is intra-island, the spine never fires.
+        assert_eq!(f.spine_ms, 0.0);
+        assert_eq!(f.cross_island_bytes, 0.0);
+        assert_eq!(f.intra_island_ms, f.all_to_all_ms);
+        // Hierarchical: the interleaved token residency pushes roughly half
+        // the dispatch across the 50 GB/s spine, which dominates the step.
+        assert!(h.spine_ms > 0.0);
+        assert!(h.cross_island_bytes > 0.0);
+        assert!(h.spine_fraction() > 0.0);
+        assert!(
+            h.all_to_all_ms > f.all_to_all_ms,
+            "spine-bound {} vs flat {}",
+            h.all_to_all_ms,
+            f.all_to_all_ms
+        );
+        // Both paths execute the same token-expert assignments.
+        assert_eq!(h.sharded_assignments, f.sharded_assignments);
+    }
+
+    #[test]
+    fn per_island_replication_cuts_spine_traffic_on_skewed_plans() {
+        let config = MoeModelConfig::qwen2_moe();
+        let skewed = TopKRouter::for_config(&config, 9)
+            .with_skew(1.5)
+            .route(2048);
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        let base = ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds)
+            .with_topology(topology);
+        let greedy = ClusterSimulator::new(base.clone(), config.clone());
+        let island = ClusterSimulator::new(
+            base.with_strategy(PlacementStrategy::ReplicateHotPerIsland { hot: 4 }),
+            config,
+        );
+        let t_greedy = greedy.step(&skewed).unwrap();
+        let t_island = island.step(&skewed).unwrap();
+        // The hot experts' tokens now dispatch to the replica inside their
+        // own island, so fewer bytes cross the spine.
+        assert!(
+            t_island.cross_island_bytes < t_greedy.cross_island_bytes,
+            "island {} vs greedy {}",
+            t_island.cross_island_bytes,
+            t_greedy.cross_island_bytes
+        );
+        assert!(
+            t_island.spine_ms < t_greedy.spine_ms,
+            "island {} vs greedy {}",
+            t_island.spine_ms,
+            t_greedy.spine_ms
+        );
+        // Conservation still holds through the affinity-aware sharding.
+        assert_eq!(t_island.sharded_assignments, skewed.total_assignments());
+    }
+
+    #[test]
+    fn replicated_experts_split_their_load_within_each_island() {
+        // Regression: the island-affinity shard must round-robin an
+        // island's tokens across ALL of the island's replicas, not pile
+        // them on the first one — otherwise ReplicateHot degenerates to
+        // one loaded rank per island on hierarchical topologies.
+        let mut config = MoeModelConfig::qwen2_moe();
+        config.num_shared_experts = 0;
+        // Degenerate plan: every token routed to expert 0 only.
+        let hot_tokens: Vec<u32> = (0..256).collect();
+        let mut expert_tokens = vec![Vec::new(); config.num_experts];
+        let mut expert_weights = vec![Vec::new(); config.num_experts];
+        expert_weights[0] = vec![1.0; hot_tokens.len()];
+        expert_tokens[0] = hot_tokens;
+        let plan = RoutingPlan {
+            num_tokens: 256,
+            top_k: 1,
+            expert_tokens,
+            expert_weights,
+        };
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds)
+                .with_topology(
+                    ClusterTopology::symmetric(
+                        2,
+                        2,
+                        LinkSpec::nvlink3(),
+                        LinkSpec::infiniband_ndr(),
+                    )
+                    .unwrap(),
+                )
+                .with_strategy(PlacementStrategy::ReplicateHot { hot: 1 }),
+            config,
+        );
+        let report = sim.step(&plan).unwrap();
+        assert_eq!(report.sharded_assignments, plan.total_assignments());
+        // Every rank holds a replica and serves a quarter of the batch.
+        let min = report
+            .per_gpu_compute_ms
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert!(min > 0.0);
+        assert!(
+            report.straggler_ms() < 1.5 * min,
+            "per-GPU compute spread too wide: {:?}",
+            report.per_gpu_compute_ms
+        );
+    }
+
+    #[test]
+    fn pair_override_time_is_surfaced_on_the_step_report() {
+        // A 2-GPU PCIe host with a dedicated NVLink bridge: the whole
+        // collective rides the bridge, and the report attributes that time
+        // instead of leaving it as phantom all-to-all ms.
+        let config = MoeModelConfig::qwen2_moe();
+        let plan = plan(&config, 512);
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 2, ClusterEngine::Samoyeds).with_topology(
+                ClusterTopology::flat(2, LinkSpec::pcie_gen4()).with_pair_override(
+                    0,
+                    1,
+                    LinkSpec::nvlink3(),
+                ),
+            ),
+            config,
+        );
+        let report = sim.step(&plan).unwrap();
+        assert!(report.override_ms > 0.0);
+        assert_eq!(report.intra_island_ms, 0.0);
+        assert_eq!(report.spine_ms, 0.0);
+        assert_eq!(
+            report.all_to_all_ms,
+            (report.intra_island_ms + report.spine_ms).max(report.override_ms)
+        );
+    }
+
+    #[test]
+    fn node_topology_deploys_the_device_form_factor() {
+        let config = MoeModelConfig::qwen2_moe();
+        // Eight consumer cards live in four 2-card PCIe hosts on a spine.
+        let consumer = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::rtx4070_super(), 8, ClusterEngine::Samoyeds)
+                .with_node_topology(),
+            config.clone(),
+        );
+        assert_eq!(consumer.topology().num_islands(), 4);
+        assert_eq!(consumer.topology().spine, LinkSpec::infiniband_ndr());
+        // An 8-GPU A100 pod stays inside one HGX node: flat NVLink.
+        let a100 = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 8, ClusterEngine::Samoyeds)
+                .with_node_topology(),
+            config,
+        );
+        assert!(a100.topology().is_flat());
+    }
+
+    #[test]
+    fn mismatched_topology_is_a_step_error_not_a_panic() {
+        let config = MoeModelConfig::qwen2_moe();
+        let plan = plan(&config, 256);
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), 4, ClusterEngine::Samoyeds)
+                .with_topology(ClusterTopology::flat(8, LinkSpec::nvlink3())),
+            config,
+        );
+        assert!(sim.step(&plan).is_err());
     }
 
     #[test]

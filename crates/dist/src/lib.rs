@@ -13,6 +13,11 @@
 //!
 //! * [`link`] — interconnect presets (NVLink / PCIe / InfiniBand) and the
 //!   α-β all-to-all collective cost over per-GPU byte counts;
+//! * [`topology`] — [`ClusterTopology`]: GPUs grouped into NVLink/PCIe
+//!   islands stitched by an InfiniBand spine (plus heterogeneous per-pair
+//!   overrides), priced as a two-phase hierarchical all-to-all over exact
+//!   per-pair byte flows; a flat single island reproduces the single-level
+//!   α-β cost bit for bit;
 //! * [`placement`] — round-robin, capacity-aware greedy and
 //!   replicated-hot-expert placement, validated against per-GPU memory
 //!   budgets derived from the engines' weight representations;
@@ -55,12 +60,15 @@ pub mod cluster;
 pub mod link;
 pub mod placement;
 pub mod report;
+pub mod topology;
 
 pub use backend::{ClusterAdmissionBudget, ClusterBackend};
 pub use cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator, ClusterStepReport};
 pub use link::LinkSpec;
 pub use placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, PlacementStrategy};
 pub use report::{
-    render_fleet_sizing, render_placement_comparison, ClusterReport, ClusterServingEntry,
-    ClusterServingReport, FleetAutoscaleEntry, FleetAutoscaleReport, FleetKind,
+    render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
+    ClusterServingEntry, ClusterServingReport, FleetAutoscaleEntry, FleetAutoscaleReport,
+    FleetKind, TopologySweepEntry, TopologySweepOutcome, TopologySweepReport,
 };
+pub use topology::{ClusterTopology, FlowMatrix, HierarchicalCost, Island, PairOverride};

@@ -39,13 +39,12 @@ impl LinkSpec {
         Self::from_interconnect(Interconnect::Nvlink4)
     }
 
-    /// InfiniBand NDR (cross-node, 400 Gb/s per port).
+    /// InfiniBand NDR, the cross-node spine fabric. The marketing figure is
+    /// 400 Gb/s (bits) per port; `bandwidth_gbps` here is **GB/s (bytes)**,
+    /// so the preset carries 400 / 8 = 50 GB/s — the value the
+    /// [`Interconnect::InfiniBandNdr`] database entry stores.
     pub fn infiniband_ndr() -> Self {
-        Self {
-            name: "InfiniBand NDR".to_string(),
-            latency_us: 12.0,
-            bandwidth_gbps: 50.0,
-        }
+        Self::from_interconnect(Interconnect::InfiniBandNdr)
     }
 
     /// Build a link from a device-database interconnect entry.
@@ -128,6 +127,25 @@ mod tests {
             LinkSpec::for_device(&DeviceSpec::rtx4070_super()),
             LinkSpec::pcie_gen4()
         );
+    }
+
+    #[test]
+    fn presets_match_their_interconnect_database_entries() {
+        // Every preset is a thin view over the `gpu-sim` interconnect
+        // database, so the two layers can never disagree about a fabric.
+        for (preset, entry) in [
+            (LinkSpec::pcie_gen4(), Interconnect::PcieGen4),
+            (LinkSpec::nvlink3(), Interconnect::Nvlink3),
+            (LinkSpec::nvlink4(), Interconnect::Nvlink4),
+            (LinkSpec::infiniband_ndr(), Interconnect::InfiniBandNdr),
+        ] {
+            assert_eq!(preset, LinkSpec::from_interconnect(entry));
+            assert_eq!(preset.name, entry.name());
+            assert_eq!(preset.latency_us, entry.latency_us());
+            assert_eq!(preset.bandwidth_gbps, entry.bandwidth_gbps());
+        }
+        // The NDR preset is the bytes-converted 400 Gb/s port figure.
+        assert_eq!(LinkSpec::infiniband_ndr().bandwidth_gbps, 400.0 / 8.0);
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //! * **capacity-aware greedy** — experts in descending load order, each to
 //!   the least-loaded GPU with memory headroom (LPT scheduling);
 //! * **replicated hot experts** — the hottest experts are replicated on
-//!   every GPU (splitting their traffic) and the rest placed greedily.
+//!   every GPU (splitting their traffic) and the rest placed greedily;
+//! * **replicated hot experts per island** — topology-aware: one replica of
+//!   each hot expert in every NVLink island (via
+//!   [`PlacementStrategy::place_on`]), so their dispatch traffic stays off
+//!   the inter-island spine.
 //!
 //! Every strategy validates the result against the per-GPU memory budget
 //! built from the engine's weight representation — the cluster-level analogue
@@ -198,6 +202,16 @@ pub enum PlacementStrategy {
         /// How many of the hottest experts to replicate.
         hot: usize,
     },
+    /// Topology-aware: the `hot` highest-load experts get one replica in
+    /// *every island* of the cluster topology (tokens then dispatch to the
+    /// co-located replica, so the hot experts' traffic never crosses the
+    /// spine), the rest placed capacity-greedily. On a flat topology this
+    /// degenerates to placing the hot experts greedily first — one island
+    /// means one replica.
+    ReplicateHotPerIsland {
+        /// How many of the hottest experts to replicate per island.
+        hot: usize,
+    },
 }
 
 impl PlacementStrategy {
@@ -207,12 +221,14 @@ impl PlacementStrategy {
             PlacementStrategy::RoundRobin => "round-robin",
             PlacementStrategy::CapacityGreedy => "capacity-greedy",
             PlacementStrategy::ReplicateHot { .. } => "replicate-hot",
+            PlacementStrategy::ReplicateHotPerIsland { .. } => "replicate-hot-island",
         }
     }
 
-    /// Place `loads.len()` experts on `num_gpus` GPUs. `loads` is the
-    /// per-expert load profile the strategy balances against — token counts
-    /// or, better, a predicted per-expert cost profile (see
+    /// Place `loads.len()` experts on `num_gpus` GPUs with no topology
+    /// information (every GPU in one island). `loads` is the per-expert
+    /// load profile the strategy balances against — token counts or,
+    /// better, a predicted per-expert cost profile (see
     /// `ClusterSimulator::expert_cost_profile`);
     /// `resident_tokens` / `step_tokens` parameterise the per-GPU memory
     /// headroom check (KV cache + activation workspace alongside weights).
@@ -227,12 +243,70 @@ impl PlacementStrategy {
         resident_tokens: usize,
         step_tokens: usize,
     ) -> Result<ExpertPlacement> {
+        self.place_islands(
+            loads,
+            &vec![0usize; num_gpus],
+            memory,
+            resident_tokens,
+            step_tokens,
+        )
+    }
+
+    /// Place experts over the islands of `topology` (the topology-aware
+    /// entry point): [`PlacementStrategy::ReplicateHotPerIsland`] puts one
+    /// replica of each hot expert in every island; the other strategies
+    /// ignore the island structure and behave exactly like
+    /// [`PlacementStrategy::place`] over `topology.num_gpus()` GPUs.
+    pub fn place_on(
+        &self,
+        loads: &[usize],
+        topology: &crate::topology::ClusterTopology,
+        memory: &ClusterMemoryModel,
+        resident_tokens: usize,
+        step_tokens: usize,
+    ) -> Result<ExpertPlacement> {
+        self.place_islands(
+            loads,
+            &topology.island_lookup(),
+            memory,
+            resident_tokens,
+            step_tokens,
+        )
+    }
+
+    /// Shared core: place over `island_of.len()` GPUs where `island_of[g]`
+    /// names GPU `g`'s island.
+    fn place_islands(
+        &self,
+        loads: &[usize],
+        island_of: &[usize],
+        memory: &ClusterMemoryModel,
+        resident_tokens: usize,
+        step_tokens: usize,
+    ) -> Result<ExpertPlacement> {
+        let num_gpus = island_of.len();
         if num_gpus == 0 {
             return Err(SparseError::config("cluster needs at least one GPU"));
         }
         let num_experts = loads.len();
         let capacity = memory.max_experts_per_gpu(resident_tokens, step_tokens);
         let mut gpu_experts: Vec<Vec<usize>> = vec![Vec::new(); num_gpus];
+
+        // The one tie-breaking rule every pass uses: least effective load,
+        // then fewest owned experts, then lowest GPU id.
+        fn least_loaded(
+            candidates: impl Iterator<Item = usize>,
+            effective: &[f64],
+            gpu_experts: &[Vec<usize>],
+        ) -> Option<usize> {
+            candidates.min_by(|&a, &b| {
+                effective[a]
+                    .partial_cmp(&effective[b])
+                    .expect("finite loads")
+                    .then(gpu_experts[a].len().cmp(&gpu_experts[b].len()))
+                    .then(a.cmp(&b))
+            })
+        }
 
         // Shared greedy core: experts in descending load order, least
         // effective load first, bounded by the per-GPU expert capacity.
@@ -241,15 +315,11 @@ impl PlacementStrategy {
                       effective: &mut Vec<f64>|
          -> Result<()> {
             for e in experts {
-                let candidate = (0..num_gpus)
-                    .filter(|&g| gpu_experts[g].len() < capacity)
-                    .min_by(|&a, &b| {
-                        effective[a]
-                            .partial_cmp(&effective[b])
-                            .expect("finite loads")
-                            .then(gpu_experts[a].len().cmp(&gpu_experts[b].len()))
-                            .then(a.cmp(&b))
-                    });
+                let candidate = least_loaded(
+                    (0..num_gpus).filter(|&g| gpu_experts[g].len() < capacity),
+                    effective,
+                    gpu_experts,
+                );
                 match candidate {
                     Some(g) => {
                         gpu_experts[g].push(e);
@@ -288,6 +358,44 @@ impl PlacementStrategy {
                     for (g, owned) in gpu_experts.iter_mut().enumerate() {
                         owned.push(e);
                         effective[g] += loads[e] as f64 / num_gpus as f64;
+                    }
+                }
+                greedy(
+                    &mut order.into_iter().skip(*hot),
+                    &mut gpu_experts,
+                    &mut effective,
+                )?;
+            }
+            PlacementStrategy::ReplicateHotPerIsland { hot } => {
+                let num_islands = island_of.iter().copied().max().unwrap_or(0) + 1;
+                let mut order: Vec<usize> = (0..num_experts).collect();
+                order.sort_by_key(|&e| (std::cmp::Reverse(loads[e]), e));
+                let hot_set: Vec<usize> = order.iter().take(*hot).copied().collect();
+                let mut effective = vec![0.0f64; num_gpus];
+                for &e in &hot_set {
+                    // One replica per island, on the island's least-loaded
+                    // GPU with headroom; intra-island dispatch splits the
+                    // expert's traffic across the islands.
+                    for island in 0..num_islands {
+                        let candidate = least_loaded(
+                            (0..num_gpus).filter(|&g| {
+                                island_of[g] == island && gpu_experts[g].len() < capacity
+                            }),
+                            &effective,
+                            &gpu_experts,
+                        );
+                        match candidate {
+                            Some(g) => {
+                                gpu_experts[g].push(e);
+                                effective[g] += loads[e] as f64 / num_islands as f64;
+                            }
+                            None => {
+                                return Err(SparseError::config(format!(
+                                    "island {island} has no memory headroom for a replica of \
+                                     hot expert {e} (capacity {capacity} experts/GPU)"
+                                )))
+                            }
+                        }
                     }
                 }
                 greedy(
@@ -485,6 +593,44 @@ mod tests {
         // Greedy cannot split expert 0; replication divides it by 8.
         assert!(max(&replicated) < max(&greedy) * 0.5);
         assert_eq!(replicated.replica_counts(config.num_experts)[0], 8);
+    }
+
+    #[test]
+    fn per_island_replication_puts_one_replica_in_every_island() {
+        use crate::link::LinkSpec;
+        use crate::topology::ClusterTopology;
+        let (memory, config) = qwen_on_a100();
+        let loads: Vec<usize> = (0..config.num_experts)
+            .map(|e| if e < 2 { 4096 } else { 32 })
+            .collect();
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        let placement = PlacementStrategy::ReplicateHotPerIsland { hot: 2 }
+            .place_on(&loads, &topology, &memory, 1024, 1024)
+            .unwrap();
+        let replicas = placement.replica_counts(config.num_experts);
+        assert_eq!(&replicas[..2], &[2, 2], "one replica per island");
+        assert!(replicas[2..].iter().all(|&c| c == 1));
+        for island in 0..2 {
+            for e in 0..2 {
+                let members = topology.island_members(island);
+                let owners = members
+                    .filter(|&g| placement.gpu_experts[g].contains(&e))
+                    .count();
+                assert_eq!(owners, 1, "island {island} expert {e}");
+            }
+        }
+        placement.validate(&memory, 1024, 1024).unwrap();
+        // Without topology information there is one island, hence one
+        // replica: the strategy degenerates to hot-first greedy.
+        let flat = PlacementStrategy::ReplicateHotPerIsland { hot: 2 }
+            .place(&loads, 8, &memory, 1024, 1024)
+            .unwrap();
+        assert!(flat
+            .replica_counts(config.num_experts)
+            .iter()
+            .all(|&c| c == 1));
     }
 
     #[test]

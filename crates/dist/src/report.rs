@@ -7,6 +7,7 @@ use crate::backend::ClusterBackend;
 use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
 use crate::link::LinkSpec;
 use crate::placement::{ClusterEngine, PlacementStrategy};
+use crate::topology::ClusterTopology;
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
@@ -207,6 +208,211 @@ pub fn render_placement_comparison(
                 report.mean_compute_ms(),
                 report.layer_time_ms,
                 report.placement.imbalance(&plan.expert_loads()),
+            )),
+            Err(_) => rows.push(format!("| {} | OOM | - | - | - |", strategy.name())),
+        }
+    }
+    rows
+}
+
+/// One (topology, engine) cell of the topology sweep.
+#[derive(Debug, Clone)]
+pub struct TopologySweepEntry {
+    /// Topology label (e.g. `"2×4 NVLink 3 + InfiniBand NDR spine"`).
+    pub topology: String,
+    /// Number of islands.
+    pub num_islands: usize,
+    /// Weight representation.
+    pub engine: ClusterEngine,
+    /// `None` when no placement fits the per-GPU budgets; otherwise the
+    /// step outcome.
+    pub outcome: Option<TopologySweepOutcome>,
+}
+
+/// The measured quantities of one feasible topology-sweep cell.
+#[derive(Debug, Clone, Copy)]
+pub struct TopologySweepOutcome {
+    /// Full-model step time over the batch, milliseconds.
+    pub model_time_ms: f64,
+    /// Dispatch + combine all-to-all per layer, milliseconds.
+    pub all_to_all_ms: f64,
+    /// Intra-island share of the collectives, milliseconds.
+    pub intra_island_ms: f64,
+    /// Spine share of the collectives, milliseconds.
+    pub spine_ms: f64,
+    /// Spine share of the layer step time.
+    pub spine_fraction: f64,
+    /// Batch tokens per second through the MoE stack.
+    pub tokens_per_s: f64,
+}
+
+/// The topology sweep: the same 8-GPU fleet and skewed routing plan priced
+/// as one flat NVLink island, as 2×4 NVLink islands on an InfiniBand
+/// spine, and as 4×2 PCIe hosts on the same spine — dense vs VENOM vs
+/// Samoyeds. The headline is *where the spine becomes the straggler*: the
+/// moment GPUs leave one island, roughly half the dispatch bytes cross a
+/// fabric an order of magnitude slower, and the collective share of the
+/// step jumps past the flat-NVLink baseline.
+#[derive(Debug, Clone)]
+pub struct TopologySweepReport {
+    /// The model swept.
+    pub model: String,
+    /// Tokens in the step batch.
+    pub tokens: usize,
+    /// Routing skew of the shared plan.
+    pub skew: f64,
+    /// All sweep cells, in (topology, engine) order.
+    pub entries: Vec<TopologySweepEntry>,
+}
+
+impl TopologySweepReport {
+    /// The swept island layouts over an 8-GPU A100 fleet: flat NVLink,
+    /// NVLink islands on an InfiniBand NDR spine, and PCIe hosts on the
+    /// same spine.
+    fn layouts() -> Vec<ClusterTopology> {
+        vec![
+            ClusterTopology::flat(8, LinkSpec::nvlink3()),
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .expect("2x4 is a valid layout"),
+            ClusterTopology::symmetric(4, 2, LinkSpec::pcie_gen4(), LinkSpec::infiniband_ndr())
+                .expect("4x2 is a valid layout"),
+        ]
+    }
+
+    /// Price a skewed `model` routing plan over every (topology, engine)
+    /// cell. The plan is deterministic in `seed` and shared by all cells.
+    pub fn sweep(model: &MoeModelConfig, tokens: usize, skew: f64, seed: u64) -> Self {
+        let plan = TopKRouter::for_config(model, seed)
+            .with_skew(skew)
+            .route(tokens);
+        let device = DeviceSpec::a100_40g();
+        let mut entries = Vec::new();
+        for topology in Self::layouts() {
+            for engine in ClusterEngine::all() {
+                let sim = ClusterSimulator::new(
+                    ClusterConfig::new(device.clone(), topology.num_gpus(), engine)
+                        .with_topology(topology.clone()),
+                    model.clone(),
+                );
+                let outcome = sim.step(&plan).ok().map(|r| TopologySweepOutcome {
+                    model_time_ms: r.model_time_ms,
+                    all_to_all_ms: r.all_to_all_ms,
+                    intra_island_ms: r.intra_island_ms,
+                    spine_ms: r.spine_ms,
+                    spine_fraction: r.spine_fraction(),
+                    tokens_per_s: r.tokens_per_s(),
+                });
+                entries.push(TopologySweepEntry {
+                    topology: topology.name(),
+                    num_islands: topology.num_islands(),
+                    engine,
+                    outcome,
+                });
+            }
+        }
+        Self {
+            model: model.name.clone(),
+            tokens,
+            skew,
+            entries,
+        }
+    }
+
+    /// The acceptance cell: the 2×4 NVLink + InfiniBand layout's collective
+    /// time vs the flat NVLink baseline, for the Samoyeds engine —
+    /// `(hierarchical_a2a_ms, flat_a2a_ms, spine_ms)`. The spine-bound
+    /// hierarchical collective exceeds the flat baseline on skewed routing.
+    pub fn spine_bound_contrast(&self) -> Option<(f64, f64, f64)> {
+        let cell = |islands: usize| {
+            self.entries
+                .iter()
+                .find(|e| e.num_islands == islands && e.engine == ClusterEngine::Samoyeds)
+                .and_then(|e| e.outcome)
+        };
+        let hier = cell(2)?;
+        let flat = cell(1)?;
+        Some((hier.all_to_all_ms, flat.all_to_all_ms, hier.spine_ms))
+    }
+
+    /// Render the sweep as a markdown table.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mut rows = vec![
+            format!(
+                "Topology sweep: {} ({} tokens/batch, routing skew {:.1}, 8 GPUs)",
+                self.model, self.tokens, self.skew
+            ),
+            "| Topology | Engine | Model step ms | A2A ms/layer | intra ms | spine ms | Spine share | tok/s |"
+                .to_string(),
+            "|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            match e.outcome {
+                None => rows.push(format!(
+                    "| {} | {} | OOM | - | - | - | - | - |",
+                    e.topology,
+                    e.engine.name()
+                )),
+                Some(o) => rows.push(format!(
+                    "| {} | {} | {:.2} | {:.4} | {:.4} | {:.4} | {:.0}% | {:.0} |",
+                    e.topology,
+                    e.engine.name(),
+                    o.model_time_ms,
+                    o.all_to_all_ms,
+                    o.intra_island_ms,
+                    o.spine_ms,
+                    o.spine_fraction * 100.0,
+                    o.tokens_per_s,
+                )),
+            }
+        }
+        rows
+    }
+}
+
+/// Placement-strategy comparison on a hierarchical topology: spine traffic
+/// and step time per strategy on a skewed plan — the table that shows
+/// island-aware replication keeping hot-expert traffic off the spine.
+pub fn render_topology_placement(
+    model: &MoeModelConfig,
+    topology: &ClusterTopology,
+    tokens: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<String> {
+    let plan = TopKRouter::for_config(model, seed)
+        .with_skew(skew)
+        .route(tokens);
+    let device = DeviceSpec::a100_40g();
+    let mut rows = vec![
+        format!(
+            "Topology-aware placement: {} on {} (skew {:.1})",
+            model.name,
+            topology.name(),
+            skew
+        ),
+        "| Strategy | Spine ms/layer | Cross-island MB/layer | A2A ms/layer | Layer step ms |"
+            .to_string(),
+        "|---|---|---|---|---|".to_string(),
+    ];
+    for strategy in [
+        PlacementStrategy::CapacityGreedy,
+        PlacementStrategy::ReplicateHot { hot: 2 },
+        PlacementStrategy::ReplicateHotPerIsland { hot: 2 },
+    ] {
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(device.clone(), topology.num_gpus(), ClusterEngine::Samoyeds)
+                .with_topology(topology.clone())
+                .with_strategy(strategy),
+            model.clone(),
+        );
+        match sim.step(&plan) {
+            Ok(r) => rows.push(format!(
+                "| {} | {:.4} | {:.1} | {:.4} | {:.2} |",
+                strategy.name(),
+                r.spine_ms,
+                r.cross_island_bytes / 1e6,
+                r.all_to_all_ms,
+                r.layer_time_ms,
             )),
             Err(_) => rows.push(format!("| {} | OOM | - | - | - |", strategy.name())),
         }
@@ -755,6 +961,57 @@ mod tests {
         assert!(m.per_replica[1].assigned > 0);
         // The timeline renders with one row per event.
         assert_eq!(m.render_timeline().len(), 2 + m.scale_events.len());
+    }
+
+    #[test]
+    fn topology_sweep_shows_the_spine_becoming_the_straggler() {
+        let report = TopologySweepReport::sweep(&MoeModelConfig::qwen2_moe(), 4096, 1.5, 42);
+        // 3 layouts x 3 engines.
+        assert_eq!(report.entries.len(), 9);
+        // The acceptance cell: on skewed routing the 2x4 NVLink+IB layout's
+        // collective time is spine-bound and exceeds the flat-NVLink
+        // baseline.
+        let (hier, flat, spine) = report.spine_bound_contrast().expect("cells exist");
+        assert!(hier > flat, "hierarchical {hier} vs flat {flat}");
+        assert!(spine > 0.0);
+        assert!(spine > hier - spine, "spine {spine} of {hier} is the bound");
+        // Flat cells never pay the spine; hierarchical cells always do.
+        for e in &report.entries {
+            if let Some(o) = e.outcome {
+                if e.num_islands == 1 {
+                    assert_eq!(o.spine_ms, 0.0, "{}", e.topology);
+                    assert_eq!(o.intra_island_ms, o.all_to_all_ms);
+                } else {
+                    assert!(o.spine_ms > 0.0, "{}", e.topology);
+                }
+            }
+        }
+        let rows = report.render_markdown();
+        assert!(rows.len() >= 3 + 9);
+        assert!(rows.iter().any(|r| r.contains("InfiniBand NDR spine")));
+    }
+
+    #[test]
+    fn topology_placement_table_shows_island_replication_cutting_spine_traffic() {
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        let rows = render_topology_placement(&MoeModelConfig::qwen2_moe(), &topology, 2048, 1.5, 9);
+        assert_eq!(rows.len(), 6);
+        let spine = |row: &String| {
+            row.split('|')
+                .nth(2)
+                .unwrap()
+                .trim()
+                .parse::<f64>()
+                .unwrap()
+        };
+        let greedy = spine(&rows[3]);
+        let per_island = spine(&rows[5]);
+        assert!(
+            per_island < greedy,
+            "replicate-hot-island {per_island} vs capacity-greedy {greedy}"
+        );
     }
 
     #[test]

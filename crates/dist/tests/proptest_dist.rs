@@ -1,10 +1,12 @@
 //! Property-based invariants of the distributed layer: token conservation
-//! across all-to-all sharding and memory-budget safety of every placement.
+//! across all-to-all sharding (flat and island-sharded), memory-budget
+//! safety of every placement (topology-aware included), and monotonicity
+//! of the hierarchical collective cost.
 
 use proptest::prelude::*;
 use samoyeds_dist::{
     ClusterBackend, ClusterConfig, ClusterEngine, ClusterMemoryModel, ClusterSimulator,
-    PlacementStrategy,
+    ClusterTopology, FlowMatrix, LinkSpec, PlacementStrategy,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
@@ -12,11 +14,32 @@ use samoyeds_moe::router::TopKRouter;
 use samoyeds_serve::{ExecutionBackend, Scheduler, SchedulerConfig, TraceConfig};
 
 fn arb_strategy() -> impl Strategy<Value = PlacementStrategy> {
-    (0usize..3, 1usize..4).prop_map(|(which, hot)| match which {
+    (0usize..4, 1usize..4).prop_map(|(which, hot)| match which {
         0 => PlacementStrategy::RoundRobin,
         1 => PlacementStrategy::CapacityGreedy,
-        _ => PlacementStrategy::ReplicateHot { hot },
+        2 => PlacementStrategy::ReplicateHot { hot },
+        _ => PlacementStrategy::ReplicateHotPerIsland { hot },
     })
+}
+
+/// A uniform exchange over `gpus` endpoints with intra-island per-pair
+/// bytes `intra` and cross-island per-pair bytes `cross` under `topology`.
+fn split_flows(topology: &ClusterTopology, intra: f64, cross: f64) -> FlowMatrix {
+    let gpus = topology.num_gpus();
+    let mut flows = FlowMatrix::new(gpus);
+    for src in 0..gpus {
+        for dst in 0..gpus {
+            if src == dst {
+                continue;
+            }
+            if topology.island_of(src) == topology.island_of(dst) {
+                flows.add(src, dst, intra);
+            } else {
+                flows.add(src, dst, cross);
+            }
+        }
+    }
+    flows
 }
 
 proptest! {
@@ -152,6 +175,183 @@ proptest! {
             }
         }
         prop_assert!(result.peak_memory_bytes <= budget_bytes);
+    }
+
+    /// The hierarchical collective cost never decreases when more bytes
+    /// cross the island boundary (intra-island traffic held fixed).
+    #[test]
+    fn hierarchical_cost_is_monotone_in_cross_island_bytes(
+        islands in 2usize..5,
+        gpus_per_island in 1usize..5,
+        intra_kb in 0u32..4096,
+        cross_kb in 0u32..4096,
+        extra_kb in 1u32..4096,
+    ) {
+        let topology = ClusterTopology::symmetric(
+            islands,
+            gpus_per_island,
+            LinkSpec::nvlink3(),
+            LinkSpec::infiniband_ndr(),
+        )
+        .unwrap();
+        let intra = intra_kb as f64 * 1024.0;
+        let cross = cross_kb as f64 * 1024.0;
+        let base = topology.all_to_all_ms(&split_flows(&topology, intra, cross));
+        let more = topology.all_to_all_ms(&split_flows(
+            &topology,
+            intra,
+            cross + extra_kb as f64 * 1024.0,
+        ));
+        prop_assert!(more.spine_ms >= base.spine_ms);
+        prop_assert!(more.total_ms() >= base.total_ms());
+        prop_assert!(more.cross_island_bytes > base.cross_island_bytes);
+        // Intra-island traffic did not change, so neither does its phase.
+        prop_assert_eq!(more.intra_ms, base.intra_ms);
+    }
+
+    /// Growing a fleet by whole islands (fixed island size, uniform
+    /// per-pair traffic) never makes the collective cheaper: every added
+    /// island adds spine endpoints and cross-island bytes.
+    #[test]
+    fn hierarchical_cost_is_monotone_in_island_count(
+        gpus_per_island in 1usize..5,
+        bytes_kb in 1u32..8192,
+        max_islands in 2usize..6,
+    ) {
+        let bytes = bytes_kb as f64 * 1024.0;
+        let mut previous = 0.0f64;
+        for islands in 1..=max_islands {
+            let topology = ClusterTopology::symmetric(
+                islands,
+                gpus_per_island,
+                LinkSpec::nvlink3(),
+                LinkSpec::infiniband_ndr(),
+            )
+            .unwrap();
+            let cost = topology.all_to_all_ms(&split_flows(&topology, bytes, bytes));
+            prop_assert!(
+                cost.total_ms() >= previous,
+                "islands {} cost {} < previous {}",
+                islands,
+                cost.total_ms(),
+                previous
+            );
+            if islands == 1 {
+                prop_assert_eq!(cost.spine_ms, 0.0);
+                prop_assert_eq!(cost.cross_island_bytes, 0.0);
+            } else if gpus_per_island > 0 {
+                prop_assert!(cost.spine_ms > 0.0);
+            }
+            previous = cost.total_ms();
+        }
+    }
+
+    /// Token conservation holds across island-sharded routing plans: the
+    /// full hierarchical cluster step executes exactly the plan's
+    /// token-expert assignments, whatever the island layout, placement
+    /// strategy or skew — and a single-island layout never touches the
+    /// spine.
+    #[test]
+    fn island_sharded_steps_conserve_tokens(
+        tokens in 16usize..512,
+        islands in 1usize..5,
+        gpus_per_island in 1usize..4,
+        strategy in arb_strategy(),
+        skew in 0.0f64..1.6,
+        seed in any::<u64>(),
+    ) {
+        let model = MoeModelConfig::qwen2_moe();
+        let plan = TopKRouter::for_config(&model, seed).with_skew(skew).route(tokens);
+        let gpus = islands * gpus_per_island;
+        let topology = ClusterTopology::symmetric(
+            islands,
+            gpus_per_island,
+            LinkSpec::nvlink3(),
+            LinkSpec::infiniband_ndr(),
+        )
+        .unwrap();
+        let sim = ClusterSimulator::new(
+            ClusterConfig::new(DeviceSpec::a100_40g(), gpus, ClusterEngine::Samoyeds)
+                .with_topology(topology)
+                .with_strategy(strategy),
+            model,
+        );
+        if let Ok(report) = sim.step(&plan) {
+            prop_assert_eq!(report.sharded_assignments, plan.total_assignments());
+            prop_assert!(report.layer_time_ms >= report.straggler_ms());
+            prop_assert!(report.spine_ms >= 0.0 && report.intra_island_ms >= 0.0);
+            if islands == 1 {
+                prop_assert_eq!(report.spine_ms, 0.0);
+                prop_assert_eq!(report.cross_island_bytes, 0.0);
+            }
+            if gpus == 1 {
+                prop_assert_eq!(report.all_to_all_ms, 0.0);
+            }
+            for u in report.utilization() {
+                prop_assert!((0.0..=1.0).contains(&u));
+            }
+        }
+    }
+
+    /// Topology-aware placement never violates per-GPU memory budgets:
+    /// whenever `place_on` succeeds over an island layout, every GPU —
+    /// including those carrying per-island hot replicas — fits weights, KV
+    /// share and activation workspace.
+    #[test]
+    fn topology_placement_respects_memory_budgets(
+        islands in 1usize..5,
+        gpus_per_island in 1usize..4,
+        hot in 1usize..5,
+        resident_tokens in 0usize..8192,
+        step_tokens in 1usize..4096,
+        engine_idx in 0usize..3,
+        seed in any::<u64>(),
+    ) {
+        let engine = ClusterEngine::all()[engine_idx];
+        let model = MoeModelConfig::qwen2_moe();
+        let device = DeviceSpec::a100_40g();
+        let memory = ClusterMemoryModel::new(&device, engine, &model);
+        let topology = ClusterTopology::symmetric(
+            islands,
+            gpus_per_island,
+            LinkSpec::nvlink3(),
+            LinkSpec::infiniband_ndr(),
+        )
+        .unwrap();
+        let loads = TopKRouter::for_config(&model, seed).route(256).expert_loads();
+        let strategy = PlacementStrategy::ReplicateHotPerIsland { hot };
+        if let Ok(placement) = strategy.place_on(
+            &loads,
+            &topology,
+            &memory,
+            resident_tokens,
+            step_tokens,
+        ) {
+            prop_assert_eq!(placement.num_gpus(), topology.num_gpus());
+            // Hot experts own exactly one replica per island, the rest one
+            // replica total.
+            let replicas = placement.replica_counts(model.num_experts);
+            prop_assert!(replicas.iter().all(|&c| c == 1 || c == islands));
+            if islands > 1 {
+                prop_assert!(
+                    replicas.iter().filter(|&&c| c == islands).count()
+                        >= hot.min(model.num_experts)
+                );
+            }
+            for owned in placement.assignments() {
+                let bytes = memory.gpu_bytes(owned.len(), resident_tokens, step_tokens);
+                prop_assert!(
+                    bytes <= memory.budget_bytes(),
+                    "GPU with {} experts uses {:.2} of {:.2} GiB",
+                    owned.len(),
+                    bytes / (1u64 << 30) as f64,
+                    memory.budget_bytes() / (1u64 << 30) as f64,
+                );
+            }
+            prop_assert!(placement
+                .validate(&memory, resident_tokens, step_tokens)
+                .is_ok());
+        }
     }
 
     /// Whenever a placement is produced, no GPU exceeds its memory budget —

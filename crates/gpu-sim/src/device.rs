@@ -29,11 +29,29 @@ pub enum GpuArch {
     Cdna3,
 }
 
+/// Whether a fabric binds GPUs inside one node (an island) or stitches
+/// nodes together (the spine). Hierarchical all-to-all models
+/// (`samoyeds-dist::topology`) run an intra-island phase over an
+/// [`LinkScope::IntraNode`] fabric and a leader exchange over an
+/// [`LinkScope::InterNode`] one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LinkScope {
+    /// Binds GPUs inside one node: NVLink, PCIe through the host, XGMI.
+    IntraNode,
+    /// Stitches nodes together: InfiniBand and friends.
+    InterNode,
+}
+
 /// The interconnect a GPU model ships with in its usual deployment form
 /// factor. Consumer cards talk to their peers over PCIe through the host,
 /// datacenter parts have dedicated point-to-point fabrics; the distinction
 /// drives the all-to-all dispatch cost of expert-parallel MoE serving
 /// (`samoyeds-dist`).
+///
+/// All bandwidths in this database are **GB/s (bytes)**. Marketing figures
+/// for network fabrics are quoted in Gb/s (bits); entries here carry the
+/// ÷8 conversion already applied (e.g. InfiniBand NDR's 400 Gb/s per port
+/// is stored as 50 GB/s).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Interconnect {
     /// PCIe 4.0 x16 through the host (consumer cards, no P2P fabric).
@@ -44,16 +62,22 @@ pub enum Interconnect {
     Nvlink4,
     /// AMD Infinity Fabric (MI300-class accelerator mesh).
     InfinityFabric,
+    /// InfiniBand NDR, the cross-node spine: 400 Gb/s per port, i.e.
+    /// 400 / 8 = 50 GB/s of payload bandwidth per endpoint.
+    InfiniBandNdr,
 }
 
 impl Interconnect {
-    /// Per-GPU unidirectional peer bandwidth in GB/s.
+    /// Per-GPU unidirectional peer bandwidth in GB/s (bytes — network
+    /// fabrics quoted in Gb/s carry the ÷8 bits-to-bytes conversion here).
     pub fn bandwidth_gbps(&self) -> f64 {
         match self {
             Interconnect::PcieGen4 => 32.0,
             Interconnect::Nvlink3 => 300.0,
             Interconnect::Nvlink4 => 450.0,
             Interconnect::InfinityFabric => 448.0,
+            // 400 Gb/s NDR port ÷ 8 bits per byte.
+            Interconnect::InfiniBandNdr => 50.0,
         }
     }
 
@@ -65,6 +89,7 @@ impl Interconnect {
             Interconnect::Nvlink3 => 1.9,
             Interconnect::Nvlink4 => 1.8,
             Interconnect::InfinityFabric => 2.0,
+            Interconnect::InfiniBandNdr => 12.0,
         }
     }
 
@@ -75,6 +100,31 @@ impl Interconnect {
             Interconnect::Nvlink3 => "NVLink 3",
             Interconnect::Nvlink4 => "NVLink 4",
             Interconnect::InfinityFabric => "Infinity Fabric",
+            Interconnect::InfiniBandNdr => "InfiniBand NDR",
+        }
+    }
+
+    /// Whether the fabric lives inside a node or between nodes.
+    pub fn scope(&self) -> LinkScope {
+        match self {
+            Interconnect::PcieGen4
+            | Interconnect::Nvlink3
+            | Interconnect::Nvlink4
+            | Interconnect::InfinityFabric => LinkScope::IntraNode,
+            Interconnect::InfiniBandNdr => LinkScope::InterNode,
+        }
+    }
+
+    /// How many GPUs the fabric typically binds into one island in its
+    /// usual deployment form factor (the NVLink domain of an HGX board,
+    /// the handful of PCIe slots of a consumer host). Inter-node fabrics
+    /// return 1: each spine endpoint is its own "island" boundary.
+    pub fn node_radix(&self) -> usize {
+        match self {
+            Interconnect::PcieGen4 => 2,
+            Interconnect::Nvlink3 | Interconnect::Nvlink4 => 8,
+            Interconnect::InfinityFabric => 8,
+            Interconnect::InfiniBandNdr => 1,
         }
     }
 }
@@ -159,6 +209,14 @@ impl DeviceSpec {
     /// satisfied on this device (Table 1).
     pub fn supports_samoyeds(&self) -> bool {
         self.has_sparse_alu
+    }
+
+    /// GPUs per node in this device's usual deployment form factor — the
+    /// island size a multi-node cluster of this device decomposes into
+    /// (8 for HGX-style NVLink boards, 2 for consumer PCIe hosts). Anything
+    /// beyond this count crosses the node boundary onto the spine fabric.
+    pub fn gpus_per_node(&self) -> usize {
+        self.interconnect.node_radix()
     }
 
     /// NVIDIA GeForce RTX 4070 Super — the paper's primary platform.
@@ -411,11 +469,38 @@ mod tests {
             Interconnect::Nvlink3,
             Interconnect::Nvlink4,
             Interconnect::InfinityFabric,
+            Interconnect::InfiniBandNdr,
         ] {
             assert!(link.bandwidth_gbps() > 0.0);
             assert!(link.latency_us() > 0.0);
             assert!(!link.name().is_empty());
+            assert!(link.node_radix() >= 1);
         }
+    }
+
+    #[test]
+    fn node_boundary_metadata_separates_islands_from_the_spine() {
+        // Intra-node fabrics bind more than one GPU into an island; the
+        // spine fabric is the node boundary itself.
+        assert_eq!(Interconnect::InfiniBandNdr.scope(), LinkScope::InterNode);
+        assert_eq!(Interconnect::InfiniBandNdr.node_radix(), 1);
+        for intra in [
+            Interconnect::PcieGen4,
+            Interconnect::Nvlink3,
+            Interconnect::Nvlink4,
+            Interconnect::InfinityFabric,
+        ] {
+            assert_eq!(intra.scope(), LinkScope::IntraNode);
+            assert!(intra.node_radix() >= 2, "{intra:?}");
+        }
+        // The NDR figure is the bits-to-bytes conversion of the 400 Gb/s
+        // marketing number, pinned so the doc and the database cannot
+        // drift apart.
+        assert_eq!(Interconnect::InfiniBandNdr.bandwidth_gbps(), 400.0 / 8.0);
+        // HGX NVLink domains are 8-wide; consumer PCIe hosts carry 2 cards.
+        assert_eq!(DeviceSpec::a100_40g().gpus_per_node(), 8);
+        assert_eq!(DeviceSpec::h100().gpus_per_node(), 8);
+        assert_eq!(DeviceSpec::rtx4070_super().gpus_per_node(), 2);
     }
 
     #[test]

@@ -30,6 +30,6 @@ pub mod occupancy;
 pub mod stats;
 
 pub use cost::{CostModel, KernelProfile};
-pub use device::{DeviceSpec, GpuArch, Interconnect};
+pub use device::{DeviceSpec, GpuArch, Interconnect, LinkScope};
 pub use occupancy::{LaunchConfig, Occupancy};
 pub use stats::KernelStats;

@@ -98,26 +98,7 @@ impl RoutingPlan {
     /// Errors if an expert id is out of range or a non-idle expert is left
     /// unplaced (its tokens would be dropped).
     pub fn shard(&self, assignments: &[Vec<usize>]) -> Result<Vec<RoutingPlan>> {
-        let mut replicas = vec![0usize; self.num_experts()];
-        for owned in assignments {
-            for &e in owned {
-                if e >= self.num_experts() {
-                    return Err(SparseError::config(format!(
-                        "expert {e} out of range (plan has {})",
-                        self.num_experts()
-                    )));
-                }
-                replicas[e] += 1;
-            }
-        }
-        for (e, &count) in replicas.iter().enumerate() {
-            if count == 0 && !self.expert_tokens[e].is_empty() {
-                return Err(SparseError::config(format!(
-                    "expert {e} has {} routed tokens but no rank owns it",
-                    self.expert_tokens[e].len()
-                )));
-            }
-        }
+        let owners = self.collect_owners(assignments)?;
         let mut next_replica = vec![0usize; self.num_experts()];
         let mut shards = Vec::with_capacity(assignments.len());
         for owned in assignments {
@@ -126,7 +107,7 @@ impl RoutingPlan {
             for &e in owned {
                 let replica = next_replica[e];
                 next_replica[e] += 1;
-                let stride = replicas[e];
+                let stride = owners[e].len();
                 // The round-robin slice keeps token indices ascending, as
                 // the SelectionArray constructor requires.
                 let tokens: Vec<u32> = self.expert_tokens[e]
@@ -143,6 +124,94 @@ impl RoutingPlan {
                     .collect();
                 expert_tokens.push(tokens);
                 expert_weights.push(weights);
+            }
+            shards.push(RoutingPlan {
+                num_tokens: self.num_tokens,
+                top_k: self.top_k,
+                expert_tokens,
+                expert_weights,
+            });
+        }
+        Ok(shards)
+    }
+
+    /// Collect the owning ranks of every expert across `assignments`
+    /// (assignment-iteration order), validating that ids are in range and
+    /// that no expert with routed tokens is left unplaced — the shared
+    /// contract of [`RoutingPlan::shard`] and [`RoutingPlan::shard_with`].
+    fn collect_owners(&self, assignments: &[Vec<usize>]) -> Result<Vec<Vec<usize>>> {
+        let mut owners: Vec<Vec<usize>> = vec![Vec::new(); self.num_experts()];
+        for (rank, owned) in assignments.iter().enumerate() {
+            for &e in owned {
+                if e >= self.num_experts() {
+                    return Err(SparseError::config(format!(
+                        "expert {e} out of range (plan has {})",
+                        self.num_experts()
+                    )));
+                }
+                owners[e].push(rank);
+            }
+        }
+        for (e, ranks) in owners.iter().enumerate() {
+            if ranks.is_empty() && !self.expert_tokens[e].is_empty() {
+                return Err(SparseError::config(format!(
+                    "expert {e} has {} routed tokens but no rank owns it",
+                    self.expert_tokens[e].len()
+                )));
+            }
+        }
+        Ok(owners)
+    }
+
+    /// Shard the plan like [`RoutingPlan::shard`], but let the caller pick
+    /// which replica serves each token of a replicated expert.
+    ///
+    /// `pick(expert, token, owners)` is called once per routed token of
+    /// every expert with more than one owner; `owners` lists the owning
+    /// ranks in assignment-iteration order (rank ascending, position within
+    /// a rank's list preserved) and the returned index selects one of them
+    /// (clamped into range). Topology-aware callers use this to keep a
+    /// token on the replica inside its own island so its dispatch never
+    /// crosses the spine. Token assignments are conserved exactly as in
+    /// `shard`: each token goes to exactly one replica and token lists
+    /// stay ascending.
+    pub fn shard_with<F>(&self, assignments: &[Vec<usize>], mut pick: F) -> Result<Vec<RoutingPlan>>
+    where
+        F: FnMut(usize, u32, &[usize]) -> usize,
+    {
+        let owners = self.collect_owners(assignments)?;
+
+        // Partition each expert's token list across its replica instances
+        // (filtering keeps the per-replica lists ascending).
+        let mut split_tokens: Vec<Vec<Vec<u32>>> = Vec::with_capacity(self.num_experts());
+        let mut split_weights: Vec<Vec<Vec<f32>>> = Vec::with_capacity(self.num_experts());
+        for (e, ranks) in owners.iter().enumerate() {
+            let replicas = ranks.len().max(1);
+            let mut tokens: Vec<Vec<u32>> = vec![Vec::new(); replicas];
+            let mut weights: Vec<Vec<f32>> = vec![Vec::new(); replicas];
+            for (i, &t) in self.expert_tokens[e].iter().enumerate() {
+                let choice = if replicas == 1 {
+                    0
+                } else {
+                    pick(e, t, ranks).min(replicas - 1)
+                };
+                tokens[choice].push(t);
+                weights[choice].push(self.expert_weights[e][i]);
+            }
+            split_tokens.push(tokens);
+            split_weights.push(weights);
+        }
+
+        let mut next_replica = vec![0usize; self.num_experts()];
+        let mut shards = Vec::with_capacity(assignments.len());
+        for owned in assignments {
+            let mut expert_tokens = Vec::with_capacity(owned.len());
+            let mut expert_weights = Vec::with_capacity(owned.len());
+            for &e in owned {
+                let replica = next_replica[e];
+                next_replica[e] += 1;
+                expert_tokens.push(std::mem::take(&mut split_tokens[e][replica]));
+                expert_weights.push(std::mem::take(&mut split_weights[e][replica]));
             }
             shards.push(RoutingPlan {
                 num_tokens: self.num_tokens,
@@ -455,6 +524,45 @@ mod tests {
         assert!(plan.shard(&[vec![0, 1], vec![2, 9]]).is_err());
         // Expert 3 has routed tokens but no owner.
         assert!(plan.shard(&[vec![0, 1], vec![2]]).is_err());
+        // shard_with enforces the same contract.
+        assert!(plan
+            .shard_with(&[vec![0, 1], vec![2, 9]], |_, _, _| 0)
+            .is_err());
+        assert!(plan
+            .shard_with(&[vec![0, 1], vec![2]], |_, _, _| 0)
+            .is_err());
+    }
+
+    #[test]
+    fn shard_with_routes_tokens_to_the_picked_replica() {
+        let plan = TopKRouter::new(4, 2, 7).unwrap().route(128);
+        // Expert 0 replicated on both ranks; even tokens to the rank-0
+        // replica, odd tokens to the rank-1 replica (an affinity rule).
+        let assignments = vec![vec![0, 1], vec![0, 2, 3]];
+        let shards = plan
+            .shard_with(&assignments, |e, t, owners| {
+                assert_eq!(e, 0, "pick only runs for replicated experts");
+                assert_eq!(owners, &[0, 1]);
+                (t % 2) as usize
+            })
+            .unwrap();
+        let total: usize = shards.iter().map(|s| s.total_assignments()).sum();
+        assert_eq!(total, plan.total_assignments());
+        assert!(shards[0].expert_tokens[0].iter().all(|t| t % 2 == 0));
+        assert!(shards[1].expert_tokens[0].iter().all(|t| t % 2 == 1));
+        for shard in &shards {
+            for et in &shard.expert_tokens {
+                assert!(et.windows(2).all(|w| w[0] < w[1]));
+            }
+        }
+        // Singly-owned experts keep their full token lists.
+        assert_eq!(shards[0].expert_tokens[1], plan.expert_tokens[1]);
+        // Out-of-range picks clamp to the last replica instead of dropping
+        // tokens.
+        let clamped = plan.shard_with(&assignments, |_, _, _| 99).unwrap();
+        let total: usize = clamped.iter().map(|s| s.total_assignments()).sum();
+        assert_eq!(total, plan.total_assignments());
+        assert!(clamped[0].expert_tokens[0].is_empty());
     }
 
     #[test]
