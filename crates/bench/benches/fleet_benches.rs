@@ -1,0 +1,68 @@
+//! Criterion benches over the event-driven fleet simulation core.
+//!
+//! These are the cells the perf trajectory tracks (`BENCH_fleet.json`): a
+//! mid-size fleet and the headline 100-replica × 1M-request trace that the
+//! event core must simulate in seconds. Traces are generated once outside
+//! the timed closure; each iteration builds a fresh fleet (backend
+//! construction is analytical and cheap next to the trace itself) and runs
+//! it to drain.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_moe::config::MoeModelConfig;
+use samoyeds_moe::engines::EngineKind;
+use samoyeds_serve::{
+    ExecutionBackend, FleetConfig, FleetController, NoAutoscale, Request, SchedulerConfig,
+    SingleGpuBackend, TraceConfig,
+};
+
+fn replica(scfg: &SchedulerConfig) -> Box<dyn ExecutionBackend> {
+    Box::new(SingleGpuBackend::new(
+        DeviceSpec::a100_40g(),
+        &MoeModelConfig::qwen2_moe(),
+        EngineKind::Samoyeds,
+        scfg,
+    ))
+}
+
+fn trace(num_requests: usize, arrival_rate_rps: f64) -> Vec<Request> {
+    TraceConfig {
+        num_requests,
+        arrival_rate_rps,
+        prompt_len_range: (16, 64),
+        output_len_range: (4, 16),
+        seed: 7,
+    }
+    .generate()
+}
+
+fn run_fleet(replicas: usize, trace: &[Request]) -> usize {
+    let config = FleetConfig {
+        max_replicas: replicas.max(8),
+        ..FleetConfig::default()
+    };
+    let mut controller = FleetController::new(config).with_autoscaler(NoAutoscale);
+    for _ in 0..replicas {
+        controller = controller.with_replica(replica(&config.scheduler));
+    }
+    controller.run(trace).completed
+}
+
+fn bench_fleet_event_core(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_event_core");
+
+    let small = trace(100_000, 400.0);
+    group.bench_function("replicas8_requests100k", |b| {
+        b.iter(|| black_box(run_fleet(8, &small)))
+    });
+
+    let large = trace(1_000_000, 4_000.0);
+    group.bench_function("replicas100_requests1M", |b| {
+        b.iter(|| black_box(run_fleet(100, &large)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_event_core);
+criterion_main!(benches);

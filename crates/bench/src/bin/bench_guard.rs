@@ -1,0 +1,118 @@
+//! CI perf gate: compare a freshly generated `BENCH_*.json` against the
+//! committed baseline and exit non-zero if any matched benchmark regressed
+//! past the allowed ratio.
+//!
+//! ```text
+//! bench_guard --current <fresh.json> --baseline <committed.json> \
+//!             [--key <name-substring>] [--max-ratio 1.2]
+//! ```
+//!
+//! `--key` restricts the gate to benches whose full name contains the given
+//! substring (default: all benches present in both files). The gate also
+//! fails if `--key` matches nothing in the current run — a silently missing
+//! headline cell must not pass CI.
+
+use samoyeds_bench::perf::{parse_bench_json, regressions};
+use std::process::ExitCode;
+
+struct Args {
+    current: String,
+    baseline: String,
+    key: String,
+    max_ratio: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut current = None;
+    let mut baseline = None;
+    let mut key = String::new();
+    let mut max_ratio = 1.2;
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().ok_or_else(|| format!("{flag} requires a value"));
+        match flag.as_str() {
+            "--current" => current = Some(value("--current")?),
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--key" => key = value("--key")?,
+            "--max-ratio" => {
+                max_ratio = value("--max-ratio")?
+                    .parse()
+                    .map_err(|e| format!("--max-ratio: {e}"))?
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(Args {
+        current: current.ok_or("--current <path> is required")?,
+        baseline: baseline.ok_or("--baseline <path> is required")?,
+        key,
+        max_ratio,
+    })
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|e| format!("could not read {path}: {e}"))
+    };
+    let current = parse_bench_json(&read(&args.current)?);
+    let baseline = parse_bench_json(&read(&args.baseline)?);
+
+    let matched: Vec<&String> = current
+        .keys()
+        .filter(|name| name.contains(&args.key))
+        .collect();
+    if matched.is_empty() {
+        return Err(format!(
+            "no benchmark in {} matches key {:?}",
+            args.current, args.key
+        ));
+    }
+    println!(
+        "bench_guard: {} bench(es) match key {:?}; gate ratio {:.2}",
+        matched.len(),
+        args.key,
+        args.max_ratio
+    );
+    for name in &matched {
+        match baseline.get(*name) {
+            Some(base) => println!(
+                "  {name}: {:.3} ms vs baseline {:.3} ms ({:.2}x)",
+                current[*name] / 1e6,
+                base / 1e6,
+                current[*name] / base
+            ),
+            None => println!(
+                "  {name}: {:.3} ms (no baseline — skipped)",
+                current[*name] / 1e6
+            ),
+        }
+    }
+
+    let hits = regressions(&current, &baseline, &args.key, args.max_ratio);
+    for r in &hits {
+        eprintln!(
+            "REGRESSION {}: {:.3} ms vs baseline {:.3} ms ({:.2}x > {:.2}x)",
+            r.name,
+            r.current_ns / 1e6,
+            r.baseline_ns / 1e6,
+            r.ratio,
+            args.max_ratio
+        );
+    }
+    Ok(hits.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => {
+            println!("bench_guard: OK");
+            ExitCode::SUCCESS
+        }
+        Ok(false) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("bench_guard: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

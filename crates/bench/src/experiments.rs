@@ -345,6 +345,7 @@ pub fn fig13_throughput_sweep() -> Vec<String> {
             .to_string(),
         "|---|---|---|---|---|---|".to_string(),
     ];
+    let mut cells = Vec::new();
     for (dim, make) in [
         (
             "m",
@@ -356,19 +357,22 @@ pub fn fig13_throughput_sweep() -> Vec<String> {
     ] {
         for &s in &sizes {
             let (m, k, n) = make(s);
-            let logical = 2.0 * m as f64 * k as f64 * n as f64;
-            let problem = GemmProblem::samoyeds(m, k, n, n, SamoyedsConfig::DEFAULT);
-            let dense = GemmProblem::dense(m, k, n);
-            let tf = |ms: f64| logical / (ms * 1e-3) / 1e12;
-            rows.push(format!(
-                "| {dim} | {s} | {:.1} | {:.1} | {:.1} | {:.1} |",
-                tf(SamoyedsKernel::new(dev.clone()).stats(&problem).time_ms),
-                tf(VenomSpmm::new(dev.clone()).stats(&dense).time_ms),
-                tf(NmSpmm::new(dev.clone()).stats(&dense).time_ms),
-                tf(DenseGemm::new(dev.clone()).stats(&dense).time_ms),
-            ));
+            cells.push((dim, s, m, k, n));
         }
     }
+    rows.extend(cells.par_iter().map(|&(dim, s, m, k, n)| {
+        let logical = 2.0 * m as f64 * k as f64 * n as f64;
+        let problem = GemmProblem::samoyeds(m, k, n, n, SamoyedsConfig::DEFAULT);
+        let dense = GemmProblem::dense(m, k, n);
+        let tf = |ms: f64| logical / (ms * 1e-3) / 1e12;
+        format!(
+            "| {dim} | {s} | {:.1} | {:.1} | {:.1} | {:.1} |",
+            tf(SamoyedsKernel::new(dev.clone()).stats(&problem).time_ms),
+            tf(VenomSpmm::new(dev.clone()).stats(&dense).time_ms),
+            tf(NmSpmm::new(dev.clone()).stats(&dense).time_ms),
+            tf(DenseGemm::new(dev.clone()).stats(&dense).time_ms),
+        )
+    }));
     rows
 }
 

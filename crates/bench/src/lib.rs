@@ -10,5 +10,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod perf;
 
 pub use experiments::{all_experiments, run_experiment, Experiment};
+pub use perf::{parse_bench_json, regressions, BenchTimings, Regression};

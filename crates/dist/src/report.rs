@@ -2,12 +2,18 @@
 //! representations, the cluster-serving sweep (continuous batching over the
 //! cluster backend) and the fleet-autoscale sweep (the online control plane
 //! over heterogeneous fleets on a bursty trace), rendered as markdown.
+//!
+//! Every sweep cell is deterministic and independent of its neighbours, so
+//! each sweep enumerates its cell descriptors up front and prices them with
+//! a rayon `par_iter` — cells fill all cores and the entry order stays the
+//! canonical (outer × inner) enumeration order either way.
 
 use crate::backend::ClusterBackend;
 use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
 use crate::link::LinkSpec;
 use crate::placement::{ClusterEngine, PlacementStrategy};
 use crate::topology::ClusterTopology;
+use rayon::prelude::*;
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
@@ -65,30 +71,36 @@ impl ClusterReport {
     /// `seed`.
     pub fn gpu_count_sweep(model: &MoeModelConfig, tokens: usize, seed: u64) -> Self {
         let plan = TopKRouter::for_config(model, seed).route(tokens);
-        let mut entries = Vec::new();
+        let mut cells = Vec::new();
         for device in [DeviceSpec::rtx4070_super(), DeviceSpec::a100_40g()] {
             for engine in ClusterEngine::all() {
                 for num_gpus in [1usize, 2, 4, 8] {
-                    let sim = ClusterSimulator::new(
-                        ClusterConfig::new(device.clone(), num_gpus, engine),
-                        model.clone(),
-                    );
-                    let outcome = sim.step(&plan).ok().map(|report| ClusterSweepOutcome {
-                        model_time_ms: report.model_time_ms,
-                        all_to_all_ms: report.all_to_all_ms,
-                        all_to_all_fraction: report.all_to_all_fraction(),
-                        tokens_per_s: report.tokens_per_s(),
-                        min_utilization: report.utilization().into_iter().fold(1.0f64, f64::min),
-                    });
-                    entries.push(ClusterSweepEntry {
-                        device: device.name.clone(),
-                        engine,
-                        num_gpus,
-                        outcome,
-                    });
+                    cells.push((device.clone(), engine, num_gpus));
                 }
             }
         }
+        let entries: Vec<ClusterSweepEntry> = cells
+            .par_iter()
+            .map(|(device, engine, num_gpus)| {
+                let sim = ClusterSimulator::new(
+                    ClusterConfig::new(device.clone(), *num_gpus, *engine),
+                    model.clone(),
+                );
+                let outcome = sim.step(&plan).ok().map(|report| ClusterSweepOutcome {
+                    model_time_ms: report.model_time_ms,
+                    all_to_all_ms: report.all_to_all_ms,
+                    all_to_all_fraction: report.all_to_all_fraction(),
+                    tokens_per_s: report.tokens_per_s(),
+                    min_utilization: report.utilization().into_iter().fold(1.0f64, f64::min),
+                });
+                ClusterSweepEntry {
+                    device: device.name.clone(),
+                    engine: *engine,
+                    num_gpus: *num_gpus,
+                    outcome,
+                }
+            })
+            .collect();
         Self {
             model: model.name.clone(),
             tokens,
@@ -286,11 +298,17 @@ impl TopologySweepReport {
             .with_skew(skew)
             .route(tokens);
         let device = DeviceSpec::a100_40g();
-        let mut entries = Vec::new();
+        let mut cells = Vec::new();
         for topology in Self::layouts() {
             for engine in ClusterEngine::all() {
+                cells.push((topology.clone(), engine));
+            }
+        }
+        let entries: Vec<TopologySweepEntry> = cells
+            .par_iter()
+            .map(|(topology, engine)| {
                 let sim = ClusterSimulator::new(
-                    ClusterConfig::new(device.clone(), topology.num_gpus(), engine)
+                    ClusterConfig::new(device.clone(), topology.num_gpus(), *engine)
                         .with_topology(topology.clone()),
                     model.clone(),
                 );
@@ -302,14 +320,14 @@ impl TopologySweepReport {
                     spine_fraction: r.spine_fraction(),
                     tokens_per_s: r.tokens_per_s(),
                 });
-                entries.push(TopologySweepEntry {
+                TopologySweepEntry {
                     topology: topology.name(),
                     num_islands: topology.num_islands(),
-                    engine,
+                    engine: *engine,
                     outcome,
-                });
-            }
-        }
+                }
+            })
+            .collect();
         Self {
             model: model.name.clone(),
             tokens,
@@ -465,30 +483,36 @@ impl ClusterServingReport {
             (DeviceSpec::a100_40g(), LinkSpec::nvlink3()),
             (DeviceSpec::a100_40g(), LinkSpec::pcie_gen4()),
         ];
-        let mut entries = Vec::new();
+        let mut cells = Vec::new();
         for (device, link) in &fabrics {
             for engine in ClusterEngine::all() {
                 for num_gpus in [1usize, 2, 4, 8] {
-                    let cluster = ClusterConfig::new(device.clone(), num_gpus, engine)
-                        .with_link(link.clone());
-                    let backend = ClusterBackend::new(cluster, model.clone(), scfg);
-                    let result = Scheduler::from_backend(backend, *scfg).run(&requests);
-                    let step_ms: f64 = result.steps.iter().map(|s| s.time_ms).sum();
-                    entries.push(ClusterServingEntry {
-                        device: device.name.clone(),
-                        link: link.name.clone(),
-                        engine,
-                        num_gpus,
-                        collective_fraction: if step_ms > 0.0 {
-                            result.collective_ms() / step_ms
-                        } else {
-                            0.0
-                        },
-                        metrics: ServingMetrics::from_result(&result),
-                    });
+                    cells.push((device.clone(), link.clone(), engine, num_gpus));
                 }
             }
         }
+        let entries: Vec<ClusterServingEntry> = cells
+            .par_iter()
+            .map(|(device, link, engine, num_gpus)| {
+                let cluster =
+                    ClusterConfig::new(device.clone(), *num_gpus, *engine).with_link(link.clone());
+                let backend = ClusterBackend::new(cluster, model.clone(), scfg);
+                let result = Scheduler::from_backend(backend, *scfg).run(&requests);
+                let step_ms: f64 = result.steps.iter().map(|s| s.time_ms).sum();
+                ClusterServingEntry {
+                    device: device.name.clone(),
+                    link: link.name.clone(),
+                    engine: *engine,
+                    num_gpus: *num_gpus,
+                    collective_fraction: if step_ms > 0.0 {
+                        result.collective_ms() / step_ms
+                    } else {
+                        0.0
+                    },
+                    metrics: ServingMetrics::from_result(&result),
+                }
+            })
+            .collect();
         Self {
             model: model.name.clone(),
             num_requests: requests.len(),
@@ -712,29 +736,36 @@ impl FleetAutoscaleReport {
             DispatchPolicy::RoundRobin,
             DispatchPolicy::LeastOutstandingTokensFrozen,
         ];
-        let mut entries = Vec::new();
+        let mut cells = Vec::new();
         for fleet in FleetKind::all() {
             for policy in policies {
                 for slo_ms in slos {
-                    let config = FleetConfig {
-                        scheduler: *scfg,
-                        policy,
-                        tick_ms: 200.0,
-                        window_ms: 1_000.0,
-                        warmup_ms: 1_500.0,
-                        min_replicas: if fleet == FleetKind::Mixed { 2 } else { 1 },
-                        max_replicas: 6,
-                    };
-                    let controller = fleet.controller(model, config, &SloAutoscaler::new(slo_ms));
-                    entries.push(FleetAutoscaleEntry {
-                        fleet,
-                        policy,
-                        slo_ms,
-                        metrics: controller.run(&requests),
-                    });
+                    cells.push((fleet, policy, slo_ms));
                 }
             }
         }
+        let entries: Vec<FleetAutoscaleEntry> = cells
+            .par_iter()
+            .map(|&(fleet, policy, slo_ms)| {
+                let config = FleetConfig {
+                    scheduler: *scfg,
+                    policy,
+                    tick_ms: 200.0,
+                    window_ms: 1_000.0,
+                    warmup_ms: 1_500.0,
+                    min_replicas: if fleet == FleetKind::Mixed { 2 } else { 1 },
+                    max_replicas: 6,
+                    ..FleetConfig::default()
+                };
+                let controller = fleet.controller(model, config, &SloAutoscaler::new(slo_ms));
+                FleetAutoscaleEntry {
+                    fleet,
+                    policy,
+                    slo_ms,
+                    metrics: controller.run(&requests),
+                }
+            })
+            .collect();
         Self {
             model: model.name.clone(),
             num_requests: requests.len(),

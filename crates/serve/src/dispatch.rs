@@ -223,7 +223,7 @@ impl<B: ExecutionBackend + Clone> ReplicaFleet<B> {
                 result,
             })
             .collect();
-        crate::fleet::aggregate(self.replicas, records, Vec::new(), Vec::new())
+        crate::fleet::aggregate(self.replicas, records, Vec::new(), Vec::new(), false)
     }
 }
 

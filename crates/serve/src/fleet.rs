@@ -22,9 +22,20 @@
 //!   replicas charged a warm-up delay before they take traffic), scale in on
 //!   sustained low utilization (draining, never dropping below the floor).
 //!   Every scale event lands on the [`FleetMetrics::scale_events`] timeline.
+//! * **Event-driven core** — [`FleetController::run`] is a next-event loop
+//!   over an [`EventQueue`](crate::events::EventQueue): arrivals, step
+//!   completions, control ticks, warm-up completions and drain retirements
+//!   pop in timestamp order and the clock jumps between them, so idle
+//!   periods cost zero work. Policies that never scale
+//!   ([`AutoscalePolicy::consults_ticks`] returns `false`) elide the tick
+//!   schedule entirely and the fleet advances purely on arrivals and step
+//!   completions — the regime where a 100-replica fleet absorbs a
+//!   million-request trace in seconds. The event loop is pinned bit-for-bit
+//!   against the frozen tick-driven loop in `fleet_event_equivalence.rs`.
 
 use crate::backend::ExecutionBackend;
 use crate::dispatch::DispatchPolicy;
+use crate::events::{EventQueue, FleetEvent};
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
 use crate::request::Request;
 use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
@@ -53,6 +64,12 @@ pub struct FleetConfig {
     pub min_replicas: usize,
     /// The fleet never scales above this many commissioned replicas.
     pub max_replicas: usize,
+    /// Safety cap on post-trace drain ticks. A degenerate configuration
+    /// (e.g. a draining fleet that can never finish its backlog) used to
+    /// panic mid-sweep; instead, once this many drain ticks have run with
+    /// work still outstanding, the run stops ticking and returns degraded
+    /// metrics with [`FleetMetrics::drain_incomplete`] set.
+    pub max_drain_ticks: usize,
 }
 
 impl Default for FleetConfig {
@@ -65,6 +82,7 @@ impl Default for FleetConfig {
             warmup_ms: 2_000.0,
             min_replicas: 1,
             max_replicas: 8,
+            max_drain_ticks: 10_000_000,
         }
     }
 }
@@ -115,6 +133,18 @@ pub trait AutoscalePolicy {
     fn name(&self) -> String {
         "autoscaler".to_string()
     }
+
+    /// Whether the policy needs to be consulted on the periodic control-tick
+    /// schedule. The default (`true`) is correct for every policy that can
+    /// ever scale or that keeps tick-indexed state. Only a policy that
+    /// unconditionally returns [`ScaleDecision::Hold`] and keeps no state
+    /// may return `false`: the controller then elides control ticks
+    /// entirely and advances the fleet purely on arrival and
+    /// step-completion events, which is what makes large fixed fleets
+    /// simulate in seconds.
+    fn consults_ticks(&self) -> bool {
+        true
+    }
 }
 
 /// A fixed fleet: never scales.
@@ -128,6 +158,11 @@ impl AutoscalePolicy for NoAutoscale {
 
     fn name(&self) -> String {
         "fixed".to_string()
+    }
+
+    /// A fixed fleet never scales, so the tick schedule can be elided.
+    fn consults_ticks(&self) -> bool {
+        false
     }
 }
 
@@ -179,18 +214,20 @@ impl SloAutoscaler {
 
 impl AutoscalePolicy for SloAutoscaler {
     fn decide(&mut self, obs: &FleetObservation) -> ScaleDecision {
+        // Capacity already in flight: hold every streak until it lands.
+        // Counting breaches here would turn one sustained breach into an
+        // immediate second scale-out the instant warm-up completes, and
+        // counting idleness here would scale in capacity that is idle only
+        // because the new replica has not started taking traffic yet.
+        if obs.warming_replicas > 0 {
+            self.breach_streak = 0;
+            self.idle_streak = 0;
+            return ScaleDecision::Hold;
+        }
         let breached = obs.p95_ttft_ms.is_some_and(|p95| p95 > self.ttft_slo_ms)
             || obs.max_pending_wait_ms > self.ttft_slo_ms;
         let idle = obs.utilization < self.low_utilization && obs.queued_requests == 0;
         if breached {
-            // Capacity already in flight: wait for it to land before
-            // commissioning more, so a long warm-up does not turn one
-            // breach into a stampede of scale-outs.
-            if obs.warming_replicas > 0 {
-                self.breach_streak = 0;
-                self.idle_streak = 0;
-                return ScaleDecision::Hold;
-            }
             self.breach_streak += 1;
             self.idle_streak = 0;
         } else if idle {
@@ -292,6 +329,11 @@ pub struct FleetMetrics {
     pub scale_events: Vec<ScaleEvent>,
     /// Ids of requests no replica could ever admit.
     pub unroutable_ids: Vec<u64>,
+    /// Whether the post-trace drain hit [`FleetConfig::max_drain_ticks`]
+    /// with work still outstanding. When set, the run stopped ticking
+    /// instead of panicking and every figure above reflects only the work
+    /// finished up to that point — treat the metrics as degraded.
+    pub drain_incomplete: bool,
 }
 
 impl FleetMetrics {
@@ -342,6 +384,12 @@ struct Slot {
     description: String,
     spawned_ms: f64,
     ready_ms: f64,
+    /// Still inside its warm-up window. Event-driven: set at commission time
+    /// and cleared by the slot's [`FleetEvent::WarmupComplete`] event, which
+    /// sorts before any control tick or arrival sharing its timestamp — so
+    /// at every evaluation point the flag equals the legacy
+    /// `ready_ms <= now` test.
+    warming: bool,
     draining: bool,
     retired_ms: Option<f64>,
     assigned_ids: Vec<u64>,
@@ -356,6 +404,7 @@ impl Slot {
         scfg: SchedulerConfig,
         spawned_ms: f64,
         ready_ms: f64,
+        warming: bool,
     ) -> Self {
         let description = backend.describe();
         Self {
@@ -363,6 +412,7 @@ impl Slot {
             description,
             spawned_ms,
             ready_ms,
+            warming,
             draining: false,
             retired_ms: None,
             assigned_ids: Vec::new(),
@@ -376,9 +426,9 @@ impl Slot {
         !self.draining && self.retired_ms.is_none()
     }
 
-    /// Routable at `now`: commissioned and past its warm-up.
-    fn routable(&self, now_ms: f64) -> bool {
-        self.commissioned() && self.ready_ms <= now_ms
+    /// Routable: commissioned and past its warm-up.
+    fn routable(&self) -> bool {
+        self.commissioned() && !self.warming
     }
 }
 
@@ -456,10 +506,22 @@ impl FleetController {
     /// Serve `trace` (sorted by arrival) to completion and return the fleet
     /// metrics, including per-replica breakdowns and the scaling timeline.
     ///
+    /// This is a next-event loop over an [`EventQueue`]: arrivals, step
+    /// completions, control ticks, warm-up completions and drain
+    /// retirements pop in timestamp order (same-time ties broken by event
+    /// class, reproducing the legacy tick loop's interleaving) and simulated
+    /// time jumps straight between them. The tick schedule exists only while
+    /// the policy wants it ([`AutoscalePolicy::consults_ticks`]); tick `k`
+    /// fires at exactly `k * tick_ms` — derived per tick, never accumulated,
+    /// so the schedule cannot drift over long traces. If the post-trace
+    /// drain exceeds [`FleetConfig::max_drain_ticks`], the run returns
+    /// degraded metrics with [`FleetMetrics::drain_incomplete`] set instead
+    /// of panicking.
+    ///
     /// # Panics
     /// Panics if the initial fleet is empty, the control-plane knobs are
-    /// degenerate (non-positive tick/window, zero `min_replicas`) or the
-    /// trace is not sorted by arrival time.
+    /// degenerate (non-positive tick/window, zero `min_replicas`, zero
+    /// `max_drain_ticks`) or the trace is not sorted by arrival time.
     pub fn run(mut self, trace: &[Request]) -> FleetMetrics {
         assert!(
             !self.initial.is_empty(),
@@ -472,6 +534,10 @@ impl FleetController {
         );
         assert!(self.config.warmup_ms >= 0.0, "warm-up cannot be negative");
         assert!(
+            self.config.max_drain_ticks >= 1,
+            "max_drain_ticks must be >= 1"
+        );
+        assert!(
             trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
             "trace must be sorted by arrival time"
         );
@@ -480,90 +546,155 @@ impl FleetController {
         let mut slots: Vec<Slot> = self
             .initial
             .drain(..)
-            .map(|backend| Slot::new(backend, scfg, 0.0, 0.0))
+            .map(|backend| Slot::new(backend, scfg, 0.0, 0.0, false))
             .collect();
         let mut events: Vec<ScaleEvent> = Vec::new();
         let mut unroutable: Vec<u64> = Vec::new();
         let mut peak_replicas = slots.len();
         let mut rr_cursor = 0usize;
-        let mut next_tick = self.config.tick_ms;
+        let mut next_arrival = 0usize;
+        let mut drain_ticks = 0usize;
+        let mut drain_incomplete = false;
 
-        for request in trace {
-            while next_tick <= request.arrival_ms {
-                control_tick(
-                    next_tick,
-                    &self.config,
-                    self.autoscaler.as_mut(),
-                    self.factory.as_deref(),
-                    &mut slots,
-                    &mut events,
-                    &mut peak_replicas,
-                );
-                next_tick += self.config.tick_ms;
-            }
-            for slot in slots.iter_mut() {
-                slot.driver.advance_to(request.arrival_ms);
-            }
-
-            // Capability-aware routing from live state: ready, not draining,
-            // kernels support the model, and the memory budget could ever
-            // admit the request.
-            let eligible: Vec<usize> = slots
-                .iter()
-                .enumerate()
-                .filter(|(_, slot)| {
-                    slot.routable(request.arrival_ms) && slot.driver.can_ever_admit(request)
-                })
-                .map(|(i, _)| i)
-                .collect();
-            let Some(&target) = (match self.config.policy {
-                DispatchPolicy::RoundRobin => {
-                    let picked = eligible.get(rr_cursor.checked_rem(eligible.len()).unwrap_or(0));
-                    rr_cursor = rr_cursor.wrapping_add(1);
-                    picked
-                }
-                DispatchPolicy::LeastOutstandingTokens { .. } => eligible
-                    .iter()
-                    .min_by_key(|&&i| slots[i].driver.outstanding_tokens()),
-                DispatchPolicy::LeastOutstandingTokensFrozen => {
-                    eligible.iter().min_by_key(|&&i| slots[i].assigned_tokens)
-                }
-            }) else {
-                unroutable.push(request.id);
-                continue;
-            };
-            slots[target].driver.enqueue(*request);
-            slots[target].assigned_ids.push(request.id);
-            slots[target].assigned_tokens += request.total_tokens();
+        let ticks = self.autoscaler.consults_ticks();
+        let mut queue = EventQueue::new();
+        if let Some(first) = trace.first() {
+            queue.push(first.arrival_ms, FleetEvent::Arrival { index: 0 });
+        }
+        if ticks {
+            queue.push(self.config.tick_ms, FleetEvent::ControlTick { index: 1 });
         }
 
-        // Keep ticking until the fleet drains, so post-burst scale-in lands
-        // on the timeline.
-        let mut guard = 0usize;
-        while slots.iter().any(|slot| !slot.driver.is_drained()) {
-            control_tick(
-                next_tick,
-                &self.config,
-                self.autoscaler.as_mut(),
-                self.factory.as_deref(),
-                &mut slots,
-                &mut events,
-                &mut peak_replicas,
-            );
-            next_tick += self.config.tick_ms;
-            guard += 1;
-            assert!(
-                guard < 10_000_000,
-                "fleet drain exceeded the tick safety cap"
-            );
+        let mut eligible: Vec<usize> = Vec::new();
+        while let Some((at, event)) = queue.pop() {
+            match event {
+                FleetEvent::WarmupComplete { slot } => {
+                    // Sorts before any tick or arrival at the same instant:
+                    // the replica is routable the moment warm-up lands. Late
+                    // events for already-retired slots are harmless flips.
+                    slots[slot].warming = false;
+                }
+                FleetEvent::DrainRetire { slot } => {
+                    if slots[slot].retired_ms.is_none() {
+                        slots[slot].retired_ms = Some(at);
+                    }
+                }
+                FleetEvent::ControlTick { index } => {
+                    // Derived, never accumulated: tick k is exactly
+                    // k * tick_ms, so 10^6 ticks land where tick 10^6
+                    // should, not where 10^6 rounded additions drifted to.
+                    let t = index as f64 * self.config.tick_ms;
+                    let trace_done = next_arrival >= trace.len();
+                    if trace_done && slots.iter().all(|s| s.driver.is_drained()) {
+                        // The legacy drain loop stopped ticking here; drop
+                        // the schedule and let remaining events drain.
+                        continue;
+                    }
+                    control_tick(
+                        t,
+                        &self.config,
+                        self.autoscaler.as_mut(),
+                        self.factory.as_deref(),
+                        &mut slots,
+                        &mut events,
+                        &mut peak_replicas,
+                        &mut queue,
+                    );
+                    if trace_done {
+                        drain_ticks += 1;
+                        if drain_ticks >= self.config.max_drain_ticks
+                            && slots.iter().any(|s| !s.driver.is_drained())
+                        {
+                            drain_incomplete = true;
+                            continue; // stop the schedule; degraded metrics
+                        }
+                    }
+                    queue.push(
+                        (index + 1) as f64 * self.config.tick_ms,
+                        FleetEvent::ControlTick { index: index + 1 },
+                    );
+                }
+                FleetEvent::Arrival { index } => {
+                    let request = &trace[index];
+                    for slot in slots.iter_mut() {
+                        slot.driver.advance_to(request.arrival_ms);
+                    }
+
+                    // Capability-aware routing from live state: ready, not
+                    // draining, kernels support the model, and the memory
+                    // budget could ever admit the request.
+                    eligible.clear();
+                    eligible.extend(
+                        slots
+                            .iter()
+                            .enumerate()
+                            .filter(|(_, slot)| {
+                                slot.routable() && slot.driver.can_ever_admit(request)
+                            })
+                            .map(|(i, _)| i),
+                    );
+                    let picked = match self.config.policy {
+                        DispatchPolicy::RoundRobin => {
+                            let picked =
+                                eligible.get(rr_cursor.checked_rem(eligible.len()).unwrap_or(0));
+                            rr_cursor = rr_cursor.wrapping_add(1);
+                            picked
+                        }
+                        DispatchPolicy::LeastOutstandingTokens { .. } => eligible
+                            .iter()
+                            .min_by_key(|&&i| slots[i].driver.outstanding_tokens()),
+                        DispatchPolicy::LeastOutstandingTokensFrozen => {
+                            eligible.iter().min_by_key(|&&i| slots[i].assigned_tokens)
+                        }
+                    };
+                    match picked {
+                        Some(&target) => {
+                            slots[target].driver.enqueue(*request);
+                            slots[target].assigned_ids.push(request.id);
+                            slots[target].assigned_tokens += request.total_tokens();
+                        }
+                        None => unroutable.push(request.id),
+                    }
+
+                    next_arrival = index + 1;
+                    if let Some(next) = trace.get(next_arrival) {
+                        queue.push(
+                            next.arrival_ms,
+                            FleetEvent::Arrival {
+                                index: next_arrival,
+                            },
+                        );
+                    } else if !ticks {
+                        // No tick schedule to advance the fleet: drain each
+                        // replica one step completion at a time.
+                        for (i, slot) in slots.iter().enumerate() {
+                            if !slot.driver.is_drained() {
+                                queue.push(
+                                    slot.driver.clock_ms(),
+                                    FleetEvent::StepCompletion { slot: i },
+                                );
+                            }
+                        }
+                    }
+                }
+                FleetEvent::StepCompletion { slot } => {
+                    if slots[slot].driver.step_once() {
+                        queue.push(
+                            slots[slot].driver.clock_ms(),
+                            FleetEvent::StepCompletion { slot },
+                        );
+                    }
+                }
+            }
         }
 
-        finalize(slots, events, unroutable, peak_replicas)
+        finalize(slots, events, unroutable, peak_replicas, drain_incomplete)
     }
 }
 
 /// One control tick: advance every replica to `t`, retire drained draining
 /// replicas, observe, and apply the autoscale decision.
+#[allow(clippy::too_many_arguments)]
 fn control_tick(
     t: f64,
     config: &FleetConfig,
@@ -572,11 +703,21 @@ fn control_tick(
     slots: &mut Vec<Slot>,
     events: &mut Vec<ScaleEvent>,
     peak_replicas: &mut usize,
+    queue: &mut EventQueue,
 ) {
-    for slot in slots.iter_mut() {
+    for (i, slot) in slots.iter_mut().enumerate() {
         slot.driver.advance_to(t);
         if slot.draining && slot.retired_ms.is_none() && slot.driver.is_drained() {
-            slot.retired_ms = Some(t);
+            queue.push(t, FleetEvent::DrainRetire { slot: i });
+        }
+    }
+    // Retirements scheduled at this very tick must land before the
+    // observation below — the legacy loop retired before observing.
+    while let Some((at, FleetEvent::DrainRetire { slot })) =
+        queue.pop_if(|at, e| at == t && matches!(e, FleetEvent::DrainRetire { .. }))
+    {
+        if slots[slot].retired_ms.is_none() {
+            slots[slot].retired_ms = Some(at);
         }
     }
 
@@ -592,7 +733,17 @@ fn control_tick(
                         config.scheduler,
                         t,
                         t + config.warmup_ms,
+                        true,
                     ));
+                    // Even a zero-length warm-up goes through the queue: its
+                    // completion sorts before every other event at `t`, so
+                    // the replica is routable for same-instant arrivals.
+                    queue.push(
+                        t + config.warmup_ms,
+                        FleetEvent::WarmupComplete {
+                            slot: slots.len() - 1,
+                        },
+                    );
                     events.push(ScaleEvent {
                         at_ms: t,
                         kind: ScaleKind::Out,
@@ -614,7 +765,7 @@ fn control_tick(
             // the `allowed` gate below enforces.
             let routable_capable = slots
                 .iter()
-                .filter(|s| s.routable(t) && s.driver.can_serve_model())
+                .filter(|s| s.routable() && s.driver.can_serve_model())
                 .count();
             let candidate = slots
                 .iter()
@@ -622,7 +773,7 @@ fn control_tick(
                 .filter(|(_, s)| s.commissioned())
                 .filter(|(_, s)| {
                     !s.driver.can_serve_model()
-                        || s.ready_ms > t
+                        || s.warming
                         || routable_capable > config.min_replicas
                 })
                 .min_by(|(ia, a), (ib, b)| {
@@ -664,7 +815,10 @@ fn control_tick(
                 if allowed {
                     slots[i].draining = true;
                     if slots[i].driver.is_drained() {
-                        slots[i].retired_ms = Some(t);
+                        // Already empty: retires at this very instant. The
+                        // event sorts before any tick or arrival at `t`, so
+                        // nothing can observe the slot in between.
+                        queue.push(t, FleetEvent::DrainRetire { slot: i });
                     }
                     events.push(ScaleEvent {
                         at_ms: t,
@@ -726,10 +880,10 @@ fn observe(t: f64, config: &FleetConfig, slots: &[Slot]) -> FleetObservation {
     }
     FleetObservation {
         now_ms: t,
-        routable_replicas: slots.iter().filter(|s| s.routable(t)).count(),
+        routable_replicas: slots.iter().filter(|s| s.routable()).count(),
         warming_replicas: slots
             .iter()
-            .filter(|s| s.commissioned() && s.ready_ms > t)
+            .filter(|s| s.commissioned() && s.warming)
             .count(),
         p95_ttft_ms,
         max_pending_wait_ms,
@@ -760,6 +914,7 @@ fn finalize(
     scale_events: Vec<ScaleEvent>,
     unroutable_ids: Vec<u64>,
     peak_replicas: usize,
+    drain_incomplete: bool,
 ) -> FleetMetrics {
     let records = slots
         .into_iter()
@@ -783,7 +938,13 @@ fn finalize(
             }
         })
         .collect();
-    aggregate(peak_replicas, records, scale_events, unroutable_ids)
+    aggregate(
+        peak_replicas,
+        records,
+        scale_events,
+        unroutable_ids,
+        drain_incomplete,
+    )
 }
 
 /// One replica's finished run plus its control-plane bookkeeping — the input
@@ -806,6 +967,7 @@ pub(crate) fn aggregate(
     records: Vec<ReplicaRecord>,
     scale_events: Vec<ScaleEvent>,
     unroutable_ids: Vec<u64>,
+    drain_incomplete: bool,
 ) -> FleetMetrics {
     let mut per_replica = Vec::with_capacity(records.len());
     let mut latencies = Vec::new();
@@ -855,6 +1017,7 @@ pub(crate) fn aggregate(
         per_replica,
         scale_events,
         unroutable_ids,
+        drain_incomplete,
     }
 }
 
@@ -1139,5 +1302,130 @@ mod tests {
         // Once the replica lands, the breach streak starts fresh.
         assert_eq!(policy.decide(&breach), ScaleDecision::Hold);
         assert_eq!(policy.decide(&breach), ScaleDecision::ScaleOut);
+    }
+
+    #[test]
+    fn slo_autoscaler_freezes_every_streak_while_capacity_warms() {
+        let mut policy = SloAutoscaler::new(500.0).with_scale_in(0.3, 2);
+        // Idle ticks while a replica is warming must not accrue the idle
+        // streak: the fleet looks idle only because the new capacity has
+        // not started taking traffic yet, and scaling in here would cancel
+        // the scale-out before it ever lands.
+        let idle_warming = FleetObservation {
+            now_ms: 0.0,
+            routable_replicas: 1,
+            warming_replicas: 1,
+            p95_ttft_ms: None,
+            max_pending_wait_ms: 0.0,
+            utilization: 0.1,
+            outstanding_tokens: 0,
+            queued_requests: 0,
+        };
+        for _ in 0..10 {
+            assert_eq!(policy.decide(&idle_warming), ScaleDecision::Hold);
+        }
+        // Once warm-up lands, the idle streak starts from zero: it takes
+        // the full `idle_ticks` run before a scale-in fires.
+        let idle = FleetObservation {
+            warming_replicas: 0,
+            ..idle_warming
+        };
+        assert_eq!(policy.decide(&idle), ScaleDecision::Hold);
+        assert_eq!(policy.decide(&idle), ScaleDecision::ScaleIn);
+    }
+
+    /// Records every consultation time so the test can check the schedule.
+    struct TickProbe {
+        tick_ms: f64,
+        /// (ticks seen, all tick times were exactly `k * tick_ms`).
+        seen: std::rc::Rc<std::cell::RefCell<(u64, bool)>>,
+    }
+
+    impl AutoscalePolicy for TickProbe {
+        fn decide(&mut self, obs: &FleetObservation) -> ScaleDecision {
+            let mut seen = self.seen.borrow_mut();
+            seen.0 += 1;
+            if obs.now_ms != seen.0 as f64 * self.tick_ms {
+                seen.1 = false;
+            }
+            ScaleDecision::Hold
+        }
+    }
+
+    #[test]
+    fn control_ticks_do_not_drift_over_a_million_ticks() {
+        // 0.1 is not representable in binary floating point, so the old
+        // `next_tick += tick_ms` accumulation drifts: after 10^6 additions
+        // the schedule is visibly off the true grid...
+        let tick_ms = 0.1f64;
+        let mut accumulated = 0.0f64;
+        for _ in 0..1_000_000 {
+            accumulated += tick_ms;
+        }
+        assert_ne!(
+            accumulated,
+            1_000_000f64 * tick_ms,
+            "the accumulated schedule should drift — that is the bug"
+        );
+
+        // ...while the event core derives tick k as exactly k * tick_ms.
+        // Two tiny requests 100 s apart put >= 10^6 ticks between them.
+        let scfg = SchedulerConfig::default();
+        let mk = |id: u64, arrival_ms: f64| Request {
+            id,
+            arrival_ms,
+            prompt_len: 8,
+            output_len: 2,
+        };
+        let seen = std::rc::Rc::new(std::cell::RefCell::new((0u64, true)));
+        let probe = TickProbe {
+            tick_ms,
+            seen: seen.clone(),
+        };
+        let metrics = FleetController::new(FleetConfig {
+            tick_ms,
+            ..FleetConfig::default()
+        })
+        .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        .with_autoscaler(probe)
+        .run(&[mk(0, 0.0), mk(1, 100_000.0)]);
+        assert_eq!(metrics.completed, 2);
+        let (ticks, exact) = *seen.borrow();
+        assert!(ticks >= 1_000_000, "only {ticks} ticks fired");
+        assert!(exact, "a tick fired off the k * tick_ms grid");
+    }
+
+    #[test]
+    fn drain_cap_returns_degraded_metrics_instead_of_panicking() {
+        // One heavy request takes far longer than three 1 ms drain ticks:
+        // the capped run must come back degraded, not panic mid-sweep.
+        let scfg = SchedulerConfig::default();
+        let trace = vec![Request {
+            id: 0,
+            arrival_ms: 0.0,
+            prompt_len: 2048,
+            output_len: 256,
+        }];
+        let capped = FleetController::new(FleetConfig {
+            tick_ms: 1.0,
+            max_drain_ticks: 3,
+            ..FleetConfig::default()
+        })
+        .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        .with_autoscaler(SloAutoscaler::new(1e12))
+        .run(&trace);
+        assert!(capped.drain_incomplete, "cap hit should flag the metrics");
+        assert_eq!(capped.completed, 0, "the heavy request cannot finish");
+
+        // The same fleet under the default cap drains fine.
+        let full = FleetController::new(FleetConfig {
+            tick_ms: 1.0,
+            ..FleetConfig::default()
+        })
+        .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        .with_autoscaler(SloAutoscaler::new(1e12))
+        .run(&trace);
+        assert!(!full.drain_incomplete);
+        assert_eq!(full.completed, 1);
     }
 }

@@ -22,6 +22,8 @@
 //!   per-output-token latency) and throughput;
 //! * [`report`] — per-engine comparison on a shared trace, rendered as
 //!   markdown;
+//! * [`events`] — the deterministic event queue (next-event time advance)
+//!   the fleet control plane runs on;
 //! * [`fleet`] — the online fleet control plane: heterogeneous
 //!   `Box<dyn ExecutionBackend>` replicas behind a capability-aware
 //!   dispatcher, with SLO-driven autoscaling and a scaling timeline;
@@ -46,6 +48,7 @@
 pub mod backend;
 pub mod batch;
 pub mod dispatch;
+pub mod events;
 pub mod fleet;
 pub mod memory;
 pub mod metrics;
@@ -59,6 +62,7 @@ pub use backend::{
 };
 pub use batch::BatchLimits;
 pub use dispatch::{dispatch_trace, DispatchPolicy, ReplicaFleet};
+pub use events::{EventQueue, FleetEvent};
 pub use fleet::{
     AutoscalePolicy, FleetConfig, FleetController, FleetMetrics, FleetObservation, NoAutoscale,
     ReplicaBreakdown, ScaleDecision, ScaleEvent, ScaleKind, SloAutoscaler,

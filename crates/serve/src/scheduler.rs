@@ -204,6 +204,12 @@ pub struct ReplicaDriver<B: ExecutionBackend> {
     /// KV tokens reserved for admitted requests at their full final length
     /// (conservative: admission never needs preemption).
     reserved_tokens: usize,
+    /// Incrementally-maintained total of [`Self::outstanding_tokens`]:
+    /// credited at enqueue, debited as prefill chunks and decode tokens land
+    /// (and when an unadmittable request is rejected). Keeping the counter
+    /// O(1) is what lets a fleet dispatcher consult the live load of every
+    /// replica at every arrival without rescanning queues.
+    outstanding: usize,
     clock_ms: f64,
     step_index: u64,
     result: SimulationResult,
@@ -240,6 +246,7 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
             queue: VecDeque::new(),
             running: Vec::new(),
             reserved_tokens: 0,
+            outstanding: 0,
             clock_ms: 0.0,
             step_index: 0,
             result,
@@ -264,6 +271,7 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
                 .is_none_or(|back| back.arrival_ms <= request.arrival_ms),
             "requests must be enqueued in arrival order"
         );
+        self.outstanding += request.total_tokens();
         self.queue.push_back(request);
     }
 
@@ -311,18 +319,11 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
     /// Tokens of work still owed: queued requests in full plus the
     /// unprefilled/undecoded remainder of every running request. This is the
     /// *live* load signal — it decays as the replica makes progress, unlike
-    /// the frozen accumulate-forever dispatch counter.
+    /// the frozen accumulate-forever dispatch counter. O(1): the counter is
+    /// maintained incrementally at enqueue/rejection and per step, never
+    /// recomputed by scanning the queue.
     pub fn outstanding_tokens(&self) -> usize {
-        let queued: usize = self.queue.iter().map(Request::total_tokens).sum();
-        let running: usize = self
-            .running
-            .iter()
-            .map(|r| {
-                (r.request.prompt_len - r.prefilled)
-                    + (r.request.output_len - r.decoded.min(r.request.output_len))
-            })
-            .sum();
-        queued + running
+        self.outstanding
     }
 
     /// Completed requests so far, in completion order.
@@ -377,36 +378,8 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         if !self.result.supported {
             return;
         }
-        let limits = self.scfg.limits;
         loop {
-            // Admission: FCFS, bounded by the running cap and the budget.
-            while self.running.len() < limits.max_running {
-                let Some(front) = self.queue.front() else {
-                    break;
-                };
-                if front.arrival_ms > self.clock_ms {
-                    break;
-                }
-                let candidate = self.reserved_tokens + front.total_tokens();
-                if self
-                    .backend
-                    .memory()
-                    .fits(candidate, limits.max_batched_tokens)
-                {
-                    let request = self.queue.pop_front().expect("front exists");
-                    self.reserved_tokens = candidate;
-                    self.result.admitted += 1;
-                    self.running
-                        .push(RunningRequest::new(request, self.clock_ms));
-                } else if self.running.is_empty() {
-                    // Even an empty system cannot hold this request.
-                    self.result
-                        .rejected
-                        .push(self.queue.pop_front().expect("front exists"));
-                } else {
-                    break;
-                }
-            }
+            self.admit_arrived();
 
             if self.running.is_empty() {
                 match self.queue.front() {
@@ -429,6 +402,62 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         }
     }
 
+    /// Execute the replica's next unit of work — admission, an idle jump to
+    /// the next queued arrival if the running set is empty, and exactly one
+    /// engine step — and report whether work remains afterwards. This is the
+    /// primitive of the event-driven fleet drain loop: repeated `step_once`
+    /// calls reach exactly the state `advance_to(f64::INFINITY)` reaches,
+    /// one step-completion event at a time.
+    pub fn step_once(&mut self) -> bool {
+        if !self.result.supported {
+            return false;
+        }
+        loop {
+            self.admit_arrived();
+            if self.running.is_empty() {
+                let Some(next) = self.queue.front() else {
+                    return false;
+                };
+                self.clock_ms = self.clock_ms.max(next.arrival_ms);
+                continue;
+            }
+            self.execute_step();
+            return !self.is_drained();
+        }
+    }
+
+    /// Admission: FCFS, bounded by the running cap and the budget.
+    fn admit_arrived(&mut self) {
+        let limits = self.scfg.limits;
+        while self.running.len() < limits.max_running {
+            let Some(front) = self.queue.front() else {
+                break;
+            };
+            if front.arrival_ms > self.clock_ms {
+                break;
+            }
+            let candidate = self.reserved_tokens + front.total_tokens();
+            if self
+                .backend
+                .memory()
+                .fits(candidate, limits.max_batched_tokens)
+            {
+                let request = self.queue.pop_front().expect("front exists");
+                self.reserved_tokens = candidate;
+                self.result.admitted += 1;
+                self.running
+                    .push(RunningRequest::new(request, self.clock_ms));
+            } else if self.running.is_empty() {
+                // Even an empty system cannot hold this request.
+                let rejected = self.queue.pop_front().expect("front exists");
+                self.outstanding -= rejected.total_tokens();
+                self.result.rejected.push(rejected);
+            } else {
+                break;
+            }
+        }
+    }
+
     /// Execute exactly one engine step over the current running set.
     fn execute_step(&mut self) {
         let limits = self.scfg.limits;
@@ -444,20 +473,28 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         self.clock_ms += time_ms;
         self.step_index += 1;
 
-        // Apply progress.
+        // Apply progress (debiting the outstanding-work counter token by
+        // token, so it stays exact without ever rescanning the queue).
         for &(i, chunk) in &batch.prefill {
             let r = &mut self.running[i];
             r.prefilled += chunk;
+            self.outstanding -= chunk;
             if r.prefilled == r.request.prompt_len {
                 // The prefill's final forward produces the first output
                 // token.
                 r.decoded += 1;
+                if r.decoded <= r.request.output_len {
+                    self.outstanding -= 1;
+                }
                 r.first_token_ms = Some(self.clock_ms);
             }
         }
         for &i in &batch.decode {
             let r = &mut self.running[i];
             r.decoded += 1;
+            if r.decoded <= r.request.output_len {
+                self.outstanding -= 1;
+            }
             if r.first_token_ms.is_none() {
                 r.first_token_ms = Some(self.clock_ms);
             }
@@ -509,5 +546,117 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
     pub fn finish(mut self) -> SimulationResult {
         self.result.makespan_ms = self.clock_ms;
         self.result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceConfig;
+    use samoyeds_moe::config::MoeModelConfig;
+
+    fn driver() -> ReplicaDriver<SingleGpuBackend> {
+        let scfg = SchedulerConfig::default();
+        let backend = SingleGpuBackend::new(
+            DeviceSpec::a100_40g(),
+            &MoeModelConfig::qwen2_moe(),
+            EngineKind::Samoyeds,
+            &scfg,
+        );
+        ReplicaDriver::new(backend, scfg)
+    }
+
+    /// Ground truth for the incrementally-maintained counter: the full
+    /// rescan the pre-refactor `outstanding_tokens` performed.
+    fn recomputed_outstanding(d: &ReplicaDriver<SingleGpuBackend>) -> usize {
+        let queued: usize = d.queue.iter().map(Request::total_tokens).sum();
+        let running: usize = d
+            .running
+            .iter()
+            .map(|r| {
+                (r.request.prompt_len - r.prefilled)
+                    + (r.request.output_len - r.decoded.min(r.request.output_len))
+            })
+            .sum();
+        queued + running
+    }
+
+    #[test]
+    fn incremental_outstanding_counter_matches_a_full_rescan() {
+        let trace = TraceConfig {
+            num_requests: 40,
+            arrival_rate_rps: 30.0,
+            prompt_len_range: (16, 700),
+            output_len_range: (2, 24),
+            seed: 13,
+        }
+        .generate();
+        let mut d = driver();
+        let mut horizon = 0.0;
+        for request in &trace {
+            while horizon < request.arrival_ms {
+                horizon += 37.0;
+                d.advance_to(horizon.min(request.arrival_ms));
+                assert_eq!(d.outstanding_tokens(), recomputed_outstanding(&d));
+            }
+            d.enqueue(*request);
+            assert_eq!(d.outstanding_tokens(), recomputed_outstanding(&d));
+        }
+        d.advance_to(f64::INFINITY);
+        assert_eq!(d.outstanding_tokens(), recomputed_outstanding(&d));
+        assert_eq!(d.outstanding_tokens(), 0);
+        assert!(d.is_drained());
+    }
+
+    #[test]
+    fn rejected_requests_release_their_outstanding_tokens() {
+        let mut d = driver();
+        // Far beyond any single-replica KV budget: rejected at admission.
+        d.enqueue(Request {
+            id: 0,
+            arrival_ms: 0.0,
+            prompt_len: 50_000_000,
+            output_len: 1,
+        });
+        d.advance_to(f64::INFINITY);
+        assert_eq!(d.outstanding_tokens(), 0);
+        let result = d.finish();
+        assert_eq!(result.rejected.len(), 1);
+    }
+
+    #[test]
+    fn step_once_drains_to_the_same_state_as_advance_to_infinity() {
+        let trace = TraceConfig {
+            num_requests: 24,
+            arrival_rate_rps: 20.0,
+            prompt_len_range: (32, 256),
+            output_len_range: (4, 16),
+            seed: 5,
+        }
+        .generate();
+        let mut by_steps = driver();
+        for request in &trace {
+            by_steps.enqueue(*request);
+        }
+        let mut by_horizon = by_steps.clone();
+
+        while by_steps.step_once() {}
+        by_horizon.advance_to(f64::INFINITY);
+
+        assert!(by_steps.is_drained() && by_horizon.is_drained());
+        let a = by_steps.finish();
+        let b = by_horizon.finish();
+        assert_eq!(a.completed.len(), b.completed.len());
+        assert_eq!(a.makespan_ms, b.makespan_ms);
+        assert_eq!(a.steps.len(), b.steps.len());
+        for (x, y) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(x.start_ms, y.start_ms);
+            assert_eq!(x.time_ms, y.time_ms);
+        }
+        for (x, y) in a.completed.iter().zip(&b.completed) {
+            assert_eq!(x.request.id, y.request.id);
+            assert_eq!(x.first_token_ms, y.first_token_ms);
+            assert_eq!(x.finished_ms, y.finished_ms);
+        }
     }
 }

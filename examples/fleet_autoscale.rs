@@ -27,6 +27,7 @@ fn main() {
         warmup_ms: 1_500.0,
         min_replicas: 2,
         max_replicas: 6,
+        ..FleetConfig::default()
     };
     let metrics = FleetKind::Mixed
         .controller(&model, config, &SloAutoscaler::new(400.0))

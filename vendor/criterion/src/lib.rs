@@ -5,7 +5,14 @@
 //! `black_box` and the `criterion_group!` / `criterion_main!` macros. Each
 //! benchmark is warmed up, timed for a short budget and reported as one line
 //! of mean time per iteration — no statistics, plots or baselines.
+//!
+//! Additionally, when the `BENCH_JSON` environment variable names a path,
+//! every benchmark result is recorded and [`finalize_benchmarks`] (called by
+//! the generated `criterion_main!`) writes them all as one JSON document —
+//! the `BENCH_*.json` perf-trajectory artifact CI commits and regresses
+//! against (see `samoyeds-bench`'s `perf` module and `bench_guard` binary).
 
+use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Opaque wrapper defeating constant-propagation (std's `black_box`).
@@ -24,10 +31,10 @@ pub struct Bencher {
 impl Bencher {
     /// Time `f`, storing the mean per-iteration duration.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up.
-        for _ in 0..3 {
-            black_box(f());
-        }
+        // Warm-up. One pass is enough for the deterministic analytical
+        // models benched here, and it keeps heavyweight cells (the
+        // million-request fleet traces) affordable.
+        black_box(f());
         let budget = Duration::from_millis(50);
         let started = Instant::now();
         let mut iters = 0u64;
@@ -38,6 +45,60 @@ impl Bencher {
         let elapsed = started.elapsed();
         self.iters = iters.max(1);
         self.mean_ns = elapsed.as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+/// One recorded benchmark result, destined for the `BENCH_JSON` document.
+#[derive(Debug, Clone)]
+struct BenchRecord {
+    name: String,
+    mean_ns: f64,
+    iters: u64,
+}
+
+fn records() -> &'static Mutex<Vec<BenchRecord>> {
+    static RECORDS: OnceLock<Mutex<Vec<BenchRecord>>> = OnceLock::new();
+    RECORDS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write every recorded benchmark to the path named by the `BENCH_JSON`
+/// environment variable, one `{"name", "mean_ns", "iters"}` object per
+/// bench. A no-op when the variable is unset. Called automatically by the
+/// `main` that `criterion_main!` generates, after all groups have run.
+pub fn finalize_benchmarks() {
+    let Ok(path) = std::env::var("BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let records = records().lock().expect("bench records poisoned");
+    let mut doc = String::from("{\n  \"schema\": 1,\n  \"benches\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        doc.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {:.3}, \"iters\": {}}}{}\n",
+            json_escape(&r.name),
+            r.mean_ns,
+            r.iters,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    doc.push_str("  ]\n}\n");
+    if let Err(err) = std::fs::write(&path, doc) {
+        eprintln!("BENCH_JSON: could not write {path}: {err}");
     }
 }
 
@@ -56,6 +117,14 @@ fn report(name: &str, bencher: &Bencher) {
         "{name:<60} time: {value:>10.3} {unit}/iter ({} iters)",
         bencher.iters
     );
+    records()
+        .lock()
+        .expect("bench records poisoned")
+        .push(BenchRecord {
+            name: name.to_string(),
+            mean_ns: bencher.mean_ns,
+            iters: bencher.iters,
+        });
 }
 
 /// Identifier for one parameterised benchmark case.
@@ -144,12 +213,14 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generate `main` running every group (criterion-compatible).
+/// Generate `main` running every group (criterion-compatible), then flush
+/// the recorded results to `BENCH_JSON` if that variable is set.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::finalize_benchmarks();
         }
     };
 }
