@@ -12,8 +12,8 @@ use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
 use samoyeds_serve::{
-    ExecutionBackend, FleetConfig, FleetController, NoAutoscale, Request, SchedulerConfig,
-    SingleGpuBackend, TraceConfig,
+    ExecutionBackend, FleetConfig, FleetController, NoAutoscale, NullSink, Request,
+    SchedulerConfig, SharedSink, SingleGpuBackend, TraceConfig, TraceRecorder, TraceSink,
 };
 
 fn replica(scfg: &SchedulerConfig) -> Box<dyn ExecutionBackend> {
@@ -48,6 +48,28 @@ fn run_fleet(replicas: usize, trace: &[Request]) -> usize {
     controller.run(trace).completed
 }
 
+/// The same run with a telemetry sink installed. The sink is built fresh
+/// inside the timed closure (an `Rc` handle cannot cross iterations of a
+/// drained fleet), which is also what a real caller pays.
+fn run_fleet_with_sink<S: TraceSink + 'static>(
+    replicas: usize,
+    trace: &[Request],
+    sink: S,
+) -> usize {
+    let config = FleetConfig {
+        max_replicas: replicas.max(8),
+        ..FleetConfig::default()
+    };
+    let (handle, _sink) = SharedSink::new(sink);
+    let mut controller = FleetController::new(config)
+        .with_autoscaler(NoAutoscale)
+        .with_sink(handle);
+    for _ in 0..replicas {
+        controller = controller.with_replica(replica(&config.scheduler));
+    }
+    controller.run(trace).completed
+}
+
 fn bench_fleet_event_core(c: &mut Criterion) {
     let mut group = c.benchmark_group("fleet_event_core");
 
@@ -59,6 +81,23 @@ fn bench_fleet_event_core(c: &mut Criterion) {
     let large = trace(1_000_000, 4_000.0);
     group.bench_function("replicas100_requests1M", |b| {
         b.iter(|| black_box(run_fleet(100, &large)))
+    });
+
+    // Telemetry overhead on the headline cell: the allocation-free NullSink
+    // must stay within a few percent of the sink-free run (the gate the
+    // perf trajectory enforces), and the bounded recording ring prices what
+    // full capture costs without letting memory scale with the trace.
+    group.bench_function("replicas100_requests1M_nullsink", |b| {
+        b.iter(|| black_box(run_fleet_with_sink(100, &large, NullSink)))
+    });
+    group.bench_function("replicas100_requests1M_recording", |b| {
+        b.iter(|| {
+            black_box(run_fleet_with_sink(
+                100,
+                &large,
+                TraceRecorder::bounded(1 << 20),
+            ))
+        })
     });
 
     group.finish();

@@ -10,9 +10,10 @@
 //! `--key` restricts the gate to benches whose full name contains the given
 //! substring (default: all benches present in both files). The gate also
 //! fails if `--key` matches nothing in the current run — a silently missing
-//! headline cell must not pass CI.
+//! headline cell must not pass CI — and warns (both directions) about cells
+//! present on only one side, which the ratio gate cannot compare.
 
-use samoyeds_bench::perf::{parse_bench_json, regressions};
+use samoyeds_bench::perf::{missing_cells, parse_bench_json, regressions};
 use std::process::ExitCode;
 
 struct Args {
@@ -87,6 +88,18 @@ fn run() -> Result<bool, String> {
                 current[*name] / 1e6
             ),
         }
+    }
+
+    // Cells the ratio gate cannot see: new benches with no baseline, and
+    // baseline cells the current run no longer produces (a renamed or
+    // dropped headline cell would otherwise pass CI silently forever).
+    for name in missing_cells(&current, &baseline, &args.key) {
+        eprintln!("WARNING {name}: in current run but not in baseline — ungated until the baseline is regenerated");
+    }
+    for name in missing_cells(&baseline, &current, &args.key) {
+        eprintln!(
+            "WARNING {name}: in baseline but missing from current run — its gate no longer runs"
+        );
     }
 
     let hits = regressions(&current, &baseline, &args.key, args.max_ratio);

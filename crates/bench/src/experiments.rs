@@ -3,7 +3,8 @@
 use rayon::prelude::*;
 use samoyeds_dist::{
     render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
-    ClusterServingReport, ClusterTopology, FleetAutoscaleReport, LinkSpec, TopologySweepReport,
+    ClusterServingReport, ClusterTopology, FleetAutoscaleReport, FleetTraceReport, LinkSpec,
+    TopologySweepReport,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_kernels::autotune::{adapt_for_device, suggested_adaptation, Adaptation};
@@ -76,6 +77,12 @@ pub enum Experiment {
     /// fewer scale-out events than dense because each compressed replica
     /// carries more load.
     FleetAutoscale,
+    /// Beyond the paper: observability — the mixed-fleet autoscale demo
+    /// re-run with a recording telemetry sink: per-request latency
+    /// attribution (queue wait / prefill / decode telescoping exactly to
+    /// end-to-end latency), registry counters against the run's exact
+    /// metrics, and a Perfetto-loadable Chrome trace of every engine step.
+    FleetTrace,
     /// Beyond the paper: hierarchical interconnect topologies — the same
     /// 8-GPU fleet priced as one flat NVLink island, as 2×4 NVLink islands
     /// on an InfiniBand spine, and as 4×2 PCIe hosts on the same spine,
@@ -107,6 +114,7 @@ impl Experiment {
             Experiment::ClusterSweep => "cluster_sweep",
             Experiment::ClusterServing => "cluster_serving",
             Experiment::FleetAutoscale => "fleet_autoscale",
+            Experiment::FleetTrace => "fleet_trace",
             Experiment::TopologySweep => "topology_sweep",
         }
     }
@@ -133,6 +141,7 @@ pub fn all_experiments() -> Vec<Experiment> {
         Experiment::ClusterSweep,
         Experiment::ClusterServing,
         Experiment::FleetAutoscale,
+        Experiment::FleetTrace,
         Experiment::TopologySweep,
     ]
 }
@@ -158,6 +167,7 @@ pub fn run_experiment(exp: Experiment) -> Vec<String> {
         Experiment::ClusterSweep => cluster_sweep(),
         Experiment::ClusterServing => cluster_serving(),
         Experiment::FleetAutoscale => fleet_autoscale(),
+        Experiment::FleetTrace => fleet_trace(),
         Experiment::TopologySweep => topology_sweep(),
     }
 }
@@ -841,6 +851,27 @@ pub fn fleet_autoscale() -> Vec<String> {
     rows
 }
 
+/// Beyond the paper: observability. The mixed-fleet autoscale demo runs
+/// once more with a recording telemetry sink installed; the report shows
+/// the run's lifecycle counters, the per-request latency attribution table
+/// (queue wait / prefill / decode, telescoping exactly to end-to-end
+/// latency), and the exact-vs-histogram p95 TTFT comparison. The same
+/// report's Chrome trace export is what `examples/fleet_trace.rs` writes
+/// for Perfetto.
+pub fn fleet_trace() -> Vec<String> {
+    let model = MoeModelConfig::qwen2_moe();
+    let report = FleetTraceReport::demo(&model, &SchedulerConfig::default());
+    let mut rows = report.render_markdown();
+    rows.push(String::new());
+    rows.push(format!(
+        "-> the Chrome trace export carries {} bytes of span/instant JSON \
+         across {} replica tracks",
+        report.chrome_trace().len(),
+        report.metrics.per_replica.len()
+    ));
+    rows
+}
+
 /// Beyond the paper: hierarchical interconnect topologies. One skewed
 /// routing plan over the same 8-GPU fleet is priced as a flat NVLink
 /// island, as 2×4 NVLink islands on an InfiniBand NDR spine, and as 4×2
@@ -893,7 +924,7 @@ mod tests {
             let rows = run_experiment(exp);
             assert!(rows.len() >= 3, "{} rows {}", exp.id(), rows.len());
         }
-        assert_eq!(all_experiments().len(), 19);
+        assert_eq!(all_experiments().len(), 20);
     }
 
     #[test]

@@ -105,6 +105,19 @@ pub fn regressions(
     out
 }
 
+/// Names matching `key_filter` that are present in `from` but absent in
+/// `to` — the cells a ratio gate silently skips. [`regressions`] ignores
+/// unmatched cells by design (new benches extend the trajectory, deleted
+/// ones retire from it), so the guard surfaces them as warnings instead:
+/// call this in both directions to catch a renamed or dropped headline cell
+/// before the silent skip becomes a permanent blind spot.
+pub fn missing_cells(from: &BenchTimings, to: &BenchTimings, key_filter: &str) -> Vec<String> {
+    from.keys()
+        .filter(|name| name.contains(key_filter) && !to.contains_key(*name))
+        .cloned()
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +167,25 @@ mod tests {
         // Benches absent from the baseline never fail the gate.
         current.insert("brand/new".to_string(), 1e12);
         assert_eq!(regressions(&current, &baseline, "", 1.2).len(), 1);
+    }
+
+    #[test]
+    fn missing_cells_reports_both_directions() {
+        let baseline = parse_bench_json(DOC);
+        let mut current = baseline.clone();
+        current.insert("brand/new".to_string(), 1.0);
+        current.remove("kernel/spmm \"quoted\"");
+
+        // Current-but-not-baseline: the new cell.
+        assert_eq!(missing_cells(&current, &baseline, ""), ["brand/new"]);
+        // Baseline-but-not-current: the dropped cell.
+        assert_eq!(
+            missing_cells(&baseline, &current, ""),
+            ["kernel/spmm \"quoted\""]
+        );
+        // The filter scopes the comparison.
+        assert!(missing_cells(&baseline, &current, "fleet").is_empty());
+        // Identical sets are clean both ways.
+        assert!(missing_cells(&baseline, &baseline, "").is_empty());
     }
 }

@@ -69,6 +69,6 @@ pub use placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, Placemen
 pub use report::{
     render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
     ClusterServingEntry, ClusterServingReport, FleetAutoscaleEntry, FleetAutoscaleReport,
-    FleetKind, TopologySweepEntry, TopologySweepOutcome, TopologySweepReport,
+    FleetKind, FleetTraceReport, TopologySweepEntry, TopologySweepOutcome, TopologySweepReport,
 };
 pub use topology::{ClusterTopology, FlowMatrix, HierarchicalCost, Island, PairOverride};

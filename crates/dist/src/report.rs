@@ -19,9 +19,10 @@ use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
 use samoyeds_moe::router::TopKRouter;
 use samoyeds_serve::{
-    BurstyTraceConfig, DispatchPolicy, ExecutionBackend, FleetConfig, FleetController,
-    FleetMetrics, Scheduler, SchedulerConfig, ServingMetrics, SingleGpuBackend, SloAutoscaler,
-    TraceConfig,
+    chrome_trace_json, request_timelines, AttributionSummary, BurstyTraceConfig, DispatchPolicy,
+    ExecutionBackend, FleetConfig, FleetController, FleetMetrics, MetricsRegistry, RequestTimeline,
+    Scheduler, SchedulerConfig, ServingMetrics, SharedSink, SingleGpuBackend, SloAutoscaler,
+    TraceConfig, TraceEvent, TraceRecorder, TraceSink,
 };
 
 /// One (device, engine, GPU-count) cell of the sweep.
@@ -823,6 +824,116 @@ impl FleetAutoscaleReport {
     }
 }
 
+/// The observability demo: the heterogeneous autoscaled fleet from the
+/// autoscale story, re-run with a recording telemetry sink — per-request
+/// latency attribution ([`RequestTimeline`]), the metrics-registry counters
+/// and tick series, and a Perfetto-loadable Chrome trace, behind one report.
+#[derive(Debug, Clone)]
+pub struct FleetTraceReport {
+    /// The model served.
+    pub model: String,
+    /// Requests in the demo trace.
+    pub num_requests: usize,
+    /// The run's fleet metrics (bit-identical to the sink-free run).
+    pub metrics: FleetMetrics,
+    /// The full recorded event stream, in simulation order.
+    pub events: Vec<TraceEvent>,
+    /// Counters, histograms and per-replica tick series replayed from the
+    /// event stream.
+    pub registry: MetricsRegistry,
+    /// Per-request queue/prefill/decode attribution, in completion order.
+    pub timelines: Vec<RequestTimeline>,
+    /// Pooled attribution over all completed requests.
+    pub attribution: AttributionSummary,
+}
+
+impl FleetTraceReport {
+    /// Trace the canonical autoscale demo: the mixed fleet (A100 pod +
+    /// 4070S single) serving [`FleetAutoscaleReport::demo_trace`] under the
+    /// tight 400 ms SLO, with an unbounded recorder installed. The registry
+    /// is replayed from the recorded stream afterwards, so the run itself
+    /// carries exactly one sink.
+    pub fn demo(model: &MoeModelConfig, scfg: &SchedulerConfig) -> Self {
+        let requests = FleetAutoscaleReport::demo_trace().generate();
+        let config = FleetConfig {
+            scheduler: *scfg,
+            policy: DispatchPolicy::least_outstanding(),
+            tick_ms: 200.0,
+            window_ms: 1_000.0,
+            warmup_ms: 1_500.0,
+            min_replicas: 2,
+            max_replicas: 6,
+            ..FleetConfig::default()
+        };
+        let (sink, recorder) = SharedSink::new(TraceRecorder::new());
+        let metrics = FleetKind::Mixed
+            .controller(model, config, &SloAutoscaler::new(400.0))
+            .with_sink(sink)
+            .run(&requests);
+        let events = recorder.borrow().events();
+        let mut registry = MetricsRegistry::new();
+        for event in &events {
+            registry.record(*event);
+        }
+        let timelines = request_timelines(&events);
+        let attribution = AttributionSummary::from_timelines(&timelines);
+        Self {
+            model: model.name.clone(),
+            num_requests: requests.len(),
+            metrics,
+            events,
+            registry,
+            timelines,
+            attribution,
+        }
+    }
+
+    /// The Chrome trace-event JSON of the run: one track per replica
+    /// (named by its backend description), a span per engine step, instants
+    /// for request and replica lifecycle events. Load it in
+    /// `chrome://tracing` or <https://ui.perfetto.dev>.
+    pub fn chrome_trace(&self) -> String {
+        let names: Vec<String> = self
+            .metrics
+            .per_replica
+            .iter()
+            .map(|r| r.description.clone())
+            .collect();
+        chrome_trace_json(&self.events, &names)
+    }
+
+    /// Render the attribution and counter summary as markdown rows.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mut rows = vec![format!(
+            "Fleet trace: {} ({} requests, mixed fleet, {} events recorded)",
+            self.model,
+            self.num_requests,
+            self.events.len()
+        )];
+        rows.push(format!(
+            "served {} · rejected {} · {} steps · {} scale-outs / {} scale-ins · \
+             {} control-tick snapshots",
+            self.metrics.completed,
+            self.metrics.rejected,
+            self.registry.steps,
+            self.registry.scale_outs,
+            self.registry.scale_ins,
+            self.registry.snapshots.len(),
+        ));
+        rows.push(String::new());
+        rows.extend(self.attribution.render_markdown());
+        rows.push(String::new());
+        rows.push(format!(
+            "p95 TTFT {:.0} ms exact vs {:.0} ms from the log-linear histogram \
+             ({} samples)",
+            self.metrics.ttft.p95_ms,
+            self.registry.ttft_ms.value_at_quantile(0.95),
+            self.registry.ttft_ms.count(),
+        ));
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1067,5 +1178,53 @@ mod tests {
         let rr = straggler(&rows[3]);
         let greedy = straggler(&rows[4]);
         assert!(greedy < rr, "greedy {greedy} vs round-robin {rr}");
+    }
+
+    #[test]
+    fn fleet_trace_demo_records_the_full_lifecycle() {
+        let report =
+            FleetTraceReport::demo(&MoeModelConfig::qwen2_moe(), &SchedulerConfig::default());
+        assert!(report.metrics.completed > 0, "demo must serve requests");
+        assert_eq!(
+            report.timelines.len(),
+            report.metrics.completed,
+            "one timeline per completed request"
+        );
+        assert_eq!(report.registry.completed, report.metrics.completed as u64);
+        assert!(
+            report.registry.snapshots.len() > 1,
+            "control ticks must be snapshotted"
+        );
+        // Attribution telescopes: phases sum to end-to-end latency.
+        for t in &report.timelines {
+            let sum = t.queue_ms() + t.prefill_ms() + t.decode_ms();
+            assert!(
+                (sum - t.latency_ms()).abs() <= 1e-9 * t.latency_ms().max(1.0),
+                "attribution drift: {sum} vs {}",
+                t.latency_ms()
+            );
+        }
+        let rows = report.render_markdown();
+        assert!(rows[0].starts_with("Fleet trace:"), "{}", rows[0]);
+
+        // The Chrome trace carries one named track per replica and at least
+        // one step span on every replica that executed steps.
+        let json = report.chrome_trace();
+        assert!(json.starts_with('{') && json.trim_end().ends_with('}'));
+        for (slot, replica) in report.metrics.per_replica.iter().enumerate() {
+            assert!(
+                json.contains(&format!(
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{}",
+                    slot + 1
+                )),
+                "missing thread-name metadata for slot {slot}"
+            );
+            if replica.metrics.completed > 0 {
+                assert!(
+                    json.contains(&format!("\"ph\":\"X\",\"pid\":1,\"tid\":{}", slot + 1)),
+                    "missing step spans for slot {slot}"
+                );
+            }
+        }
     }
 }

@@ -108,13 +108,27 @@ impl OverlapModel {
 
 /// Predicted cost of one engine step, split into the part spent computing
 /// and the part spent in inter-GPU collectives (zero on a single GPU).
+///
+/// Cluster backends additionally attribute the collective time to the
+/// NVLink intra-island legs versus the InfiniBand spine
+/// ([`Self::intra_island_ms`] / [`Self::spine_ms`]) — the split telemetry
+/// step spans carry, so a TTFT breach can be traced to spine traffic rather
+/// than a generic "collectives" bucket. The split is attribution only: step
+/// duration stays a function of `compute_ms`, `collective_ms` and `overlap`
+/// alone.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepCost {
     /// Compute time (kernels, attention, norms, per-step overhead), ms.
     pub compute_ms: f64,
     /// All-to-all dispatch/combine time across the step's layers, ms.
     pub collective_ms: f64,
-    /// How the two components combine into the step duration.
+    /// NVLink intra-island share of the collective time (zero on a single
+    /// GPU or a flat topology without islands), ms.
+    pub intra_island_ms: f64,
+    /// InfiniBand spine share of the collective time, ms.
+    pub spine_ms: f64,
+    /// How the compute and collective components combine into the step
+    /// duration.
     pub overlap: OverlapModel,
 }
 
@@ -124,6 +138,8 @@ impl StepCost {
         Self {
             compute_ms,
             collective_ms: 0.0,
+            intra_island_ms: 0.0,
+            spine_ms: 0.0,
             overlap: OverlapModel::Serial,
         }
     }
@@ -133,6 +149,8 @@ impl StepCost {
         Self {
             compute_ms,
             collective_ms,
+            intra_island_ms: 0.0,
+            spine_ms: 0.0,
             overlap: OverlapModel::Serial,
         }
     }
@@ -140,6 +158,14 @@ impl StepCost {
     /// Replace the overlap model.
     pub fn with_overlap(mut self, overlap: OverlapModel) -> Self {
         self.overlap = overlap;
+        self
+    }
+
+    /// Attribute the collective time to its intra-island and spine legs
+    /// (telemetry only; does not change [`Self::total_ms`]).
+    pub fn with_collective_split(mut self, intra_island_ms: f64, spine_ms: f64) -> Self {
+        self.intra_island_ms = intra_island_ms;
+        self.spine_ms = spine_ms;
         self
     }
 

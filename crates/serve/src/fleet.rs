@@ -39,6 +39,7 @@ use crate::events::{EventQueue, FleetEvent};
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
 use crate::request::Request;
 use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
+use crate::telemetry::{SharedSink, TraceEvent};
 use samoyeds_moe::engines::EngineKind;
 use serde::{Deserialize, Serialize};
 
@@ -467,6 +468,7 @@ pub struct FleetController {
     initial: Vec<Box<dyn ExecutionBackend>>,
     factory: Option<ReplicaFactory>,
     autoscaler: Box<dyn AutoscalePolicy>,
+    sink: Option<SharedSink>,
 }
 
 impl FleetController {
@@ -478,7 +480,19 @@ impl FleetController {
             initial: Vec::new(),
             factory: None,
             autoscaler: Box::new(NoAutoscale),
+            sink: None,
         }
+    }
+
+    /// Install a telemetry sink: the run emits the full request lifecycle
+    /// (arrival → routing → admission → step spans → first token →
+    /// completion), replica lifecycle (commission, warm-up, drain, retire)
+    /// and control-tick observations there. Without one, nothing is emitted
+    /// and every metric is bit-identical (pinned by the
+    /// `telemetry_equivalence` suite).
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// Add one replica to the initial fleet (ready at time zero).
@@ -548,6 +562,16 @@ impl FleetController {
             .drain(..)
             .map(|backend| Slot::new(backend, scfg, 0.0, 0.0, false))
             .collect();
+        if let Some(sink) = &self.sink {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                slot.driver.attach_sink(sink.clone(), i);
+                sink.emit(TraceEvent::ReplicaCommissioned {
+                    replica: i,
+                    at_ms: 0.0,
+                    ready_ms: 0.0,
+                });
+            }
+        }
         let mut events: Vec<ScaleEvent> = Vec::new();
         let mut unroutable: Vec<u64> = Vec::new();
         let mut peak_replicas = slots.len();
@@ -572,11 +596,25 @@ impl FleetController {
                     // Sorts before any tick or arrival at the same instant:
                     // the replica is routable the moment warm-up lands. Late
                     // events for already-retired slots are harmless flips.
+                    if slots[slot].warming {
+                        if let Some(sink) = &self.sink {
+                            sink.emit(TraceEvent::WarmupComplete {
+                                replica: slot,
+                                at_ms: at,
+                            });
+                        }
+                    }
                     slots[slot].warming = false;
                 }
                 FleetEvent::DrainRetire { slot } => {
                     if slots[slot].retired_ms.is_none() {
                         slots[slot].retired_ms = Some(at);
+                        if let Some(sink) = &self.sink {
+                            sink.emit(TraceEvent::Retired {
+                                replica: slot,
+                                at_ms: at,
+                            });
+                        }
                     }
                 }
                 FleetEvent::ControlTick { index } => {
@@ -599,6 +637,7 @@ impl FleetController {
                         &mut events,
                         &mut peak_replicas,
                         &mut queue,
+                        self.sink.as_ref(),
                     );
                     if trace_done {
                         drain_ticks += 1;
@@ -616,6 +655,12 @@ impl FleetController {
                 }
                 FleetEvent::Arrival { index } => {
                     let request = &trace[index];
+                    if let Some(sink) = &self.sink {
+                        sink.emit(TraceEvent::Arrival {
+                            id: request.id,
+                            at_ms: request.arrival_ms,
+                        });
+                    }
                     for slot in slots.iter_mut() {
                         slot.driver.advance_to(request.arrival_ms);
                     }
@@ -649,11 +694,26 @@ impl FleetController {
                     };
                     match picked {
                         Some(&target) => {
+                            if let Some(sink) = &self.sink {
+                                sink.emit(TraceEvent::Routed {
+                                    id: request.id,
+                                    replica: target,
+                                    at_ms: request.arrival_ms,
+                                });
+                            }
                             slots[target].driver.enqueue(*request);
                             slots[target].assigned_ids.push(request.id);
                             slots[target].assigned_tokens += request.total_tokens();
                         }
-                        None => unroutable.push(request.id),
+                        None => {
+                            if let Some(sink) = &self.sink {
+                                sink.emit(TraceEvent::Unroutable {
+                                    id: request.id,
+                                    at_ms: request.arrival_ms,
+                                });
+                            }
+                            unroutable.push(request.id);
+                        }
                     }
 
                     next_arrival = index + 1;
@@ -704,6 +764,7 @@ fn control_tick(
     events: &mut Vec<ScaleEvent>,
     peak_replicas: &mut usize,
     queue: &mut EventQueue,
+    sink: Option<&SharedSink>,
 ) {
     for (i, slot) in slots.iter_mut().enumerate() {
         slot.driver.advance_to(t);
@@ -718,23 +779,50 @@ fn control_tick(
     {
         if slots[slot].retired_ms.is_none() {
             slots[slot].retired_ms = Some(at);
+            if let Some(sink) = sink {
+                sink.emit(TraceEvent::Retired {
+                    replica: slot,
+                    at_ms: at,
+                });
+            }
         }
     }
 
     let obs = observe(t, config, slots);
+    if let Some(sink) = sink {
+        // What the autoscale policy is about to see — the gauge row the
+        // metrics registry snapshots its per-replica time series at.
+        sink.emit(TraceEvent::ControlTick {
+            at_ms: t,
+            routable: obs.routable_replicas,
+            warming: obs.warming_replicas,
+            p95_ttft_ms: obs.p95_ttft_ms,
+            utilization: obs.utilization,
+            queued: obs.queued_requests,
+            outstanding_tokens: obs.outstanding_tokens,
+        });
+    }
     match autoscaler.decide(&obs) {
         ScaleDecision::Hold => {}
         ScaleDecision::ScaleOut => {
             let commissioned = slots.iter().filter(|s| s.commissioned()).count();
             if commissioned < config.max_replicas {
                 if let Some(factory) = factory {
-                    slots.push(Slot::new(
-                        factory(),
-                        config.scheduler,
-                        t,
-                        t + config.warmup_ms,
-                        true,
-                    ));
+                    let mut slot =
+                        Slot::new(factory(), config.scheduler, t, t + config.warmup_ms, true);
+                    if let Some(sink) = sink {
+                        slot.driver.attach_sink((*sink).clone(), slots.len());
+                        sink.emit(TraceEvent::ReplicaCommissioned {
+                            replica: slots.len(),
+                            at_ms: t,
+                            ready_ms: t + config.warmup_ms,
+                        });
+                        sink.emit(TraceEvent::ScaleOut {
+                            at_ms: t,
+                            replicas_after: commissioned + 1,
+                        });
+                    }
+                    slots.push(slot);
                     // Even a zero-length warm-up goes through the queue: its
                     // completion sorts before every other event at `t`, so
                     // the replica is routable for same-instant arrivals.
@@ -814,6 +902,16 @@ fn control_tick(
                 };
                 if allowed {
                     slots[i].draining = true;
+                    if let Some(sink) = sink {
+                        sink.emit(TraceEvent::DrainStarted {
+                            replica: i,
+                            at_ms: t,
+                        });
+                        sink.emit(TraceEvent::ScaleIn {
+                            at_ms: t,
+                            replicas_after: commissioned - 1,
+                        });
+                    }
                     if slots[i].driver.is_drained() {
                         // Already empty: retires at this very instant. The
                         // event sorts before any tick or arrival at `t`, so

@@ -24,6 +24,10 @@
 //!   markdown;
 //! * [`events`] — the deterministic event queue (next-event time advance)
 //!   the fleet control plane runs on;
+//! * [`telemetry`] — structured request/replica lifecycle tracing behind the
+//!   [`TraceSink`] trait: an allocation-free default, a metrics registry
+//!   with log-linear histograms, a Chrome trace-event exporter and
+//!   per-request latency attribution;
 //! * [`fleet`] — the online fleet control plane: heterogeneous
 //!   `Box<dyn ExecutionBackend>` replicas behind a capability-aware
 //!   dispatcher, with SLO-driven autoscaling and a scaling timeline;
@@ -55,6 +59,7 @@ pub mod metrics;
 pub mod report;
 pub mod request;
 pub mod scheduler;
+pub mod telemetry;
 pub mod trace;
 
 pub use backend::{
@@ -72,6 +77,10 @@ pub use metrics::{latency_summary, LatencySummary, ServingMetrics};
 pub use report::{compare_engines, render_markdown};
 pub use request::{CompletedRequest, Phase, Request, RunningRequest};
 pub use scheduler::{ReplicaDriver, Scheduler, SchedulerConfig, SimulationResult, StepRecord};
+pub use telemetry::{
+    chrome_trace_json, request_timelines, AttributionSummary, LogLinearHistogram, MetricsRegistry,
+    NullSink, RequestTimeline, SharedSink, TickSnapshot, TraceEvent, TraceRecorder, TraceSink,
+};
 pub use trace::{BurstPhase, BurstyTraceConfig, TraceConfig};
 
 use samoyeds_gpu_sim::DeviceSpec;

@@ -169,6 +169,45 @@ mod tests {
     }
 
     #[test]
+    fn boundary_interpolation_is_exact_and_nan_free() {
+        // Ranks that land exactly on an order statistic take it verbatim —
+        // the interpolation fraction is 0, so no neighbour arithmetic can
+        // smear the value (or manufacture a NaN from a 0 * inf product).
+        let samples: Vec<f64> = (0..=100).map(|v| v as f64).collect();
+        let s = latency_summary(&samples);
+        assert_eq!(s.p50_ms, 50.0);
+        assert_eq!(s.p99_ms, 99.0);
+        assert_eq!(s.max_ms, 100.0);
+
+        // Degenerate distributions (all samples equal) collapse every
+        // percentile to that value, finitely.
+        let flat = latency_summary(&[4.25; 17]);
+        for v in [
+            flat.p50_ms,
+            flat.p95_ms,
+            flat.p99_ms,
+            flat.mean_ms,
+            flat.max_ms,
+        ] {
+            assert_eq!(v, 4.25);
+        }
+
+        // Extreme-but-finite magnitudes stay finite through the
+        // interpolation and the mean.
+        let wide = latency_summary(&[f64::MIN_POSITIVE, 1e-9, 1.0, 1e12, f64::MAX / 4.0]);
+        for v in [
+            wide.p50_ms,
+            wide.p95_ms,
+            wide.p99_ms,
+            wide.mean_ms,
+            wide.max_ms,
+        ] {
+            assert!(v.is_finite(), "non-finite summary value {v}");
+        }
+        assert_eq!(wide.max_ms, f64::MAX / 4.0);
+    }
+
+    #[test]
     fn percentiles_are_monotone() {
         let samples = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
         let s = latency_summary(&samples);

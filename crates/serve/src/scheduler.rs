@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 use crate::backend::{ExecutionBackend, MemoryBudget, SingleGpuBackend, StepWorkload};
 use crate::batch::{build_step, BatchLimits};
 use crate::request::{CompletedRequest, Request, RunningRequest};
+use crate::telemetry::{SharedSink, TraceEvent};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::attention::AttentionKind;
 use samoyeds_moe::config::MoeModelConfig;
@@ -117,6 +118,7 @@ impl SimulationResult {
 pub struct Scheduler<B: ExecutionBackend = SingleGpuBackend> {
     backend: B,
     scfg: SchedulerConfig,
+    sink: Option<SharedSink>,
 }
 
 impl Scheduler<SingleGpuBackend> {
@@ -156,7 +158,19 @@ impl<B: ExecutionBackend> Scheduler<B> {
             "every BatchLimits field must be at least 1, got {:?}",
             scfg.limits
         );
-        Self { backend, scfg }
+        Self {
+            backend,
+            scfg,
+            sink: None,
+        }
+    }
+
+    /// Install a telemetry sink: every run emits its request lifecycle and
+    /// step spans there (as replica 0). Without one, nothing is emitted and
+    /// the hot path pays only an `Option` check.
+    pub fn with_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
     }
 
     /// The backend the scheduler drives.
@@ -177,6 +191,9 @@ impl<B: ExecutionBackend> Scheduler<B> {
     /// [`ReplicaDriver::enqueue`] with [`ReplicaDriver::advance_to`].
     pub fn run(&self, trace: &[Request]) -> SimulationResult {
         let mut driver = ReplicaDriver::new(&self.backend, self.scfg);
+        if let Some(sink) = &self.sink {
+            driver.attach_sink(sink.clone(), 0);
+        }
         for request in trace {
             driver.enqueue(*request);
         }
@@ -213,6 +230,12 @@ pub struct ReplicaDriver<B: ExecutionBackend> {
     clock_ms: f64,
     step_index: u64,
     result: SimulationResult,
+    /// Telemetry sink, if one is attached. `None` (the default) keeps the
+    /// hot path at a single branch — the telemetry-equivalence suite pins
+    /// the metrics bit-for-bit either way.
+    sink: Option<SharedSink>,
+    /// Slot label stamped on emitted events (0 for standalone drivers).
+    replica_id: usize,
 }
 
 impl<B: ExecutionBackend> ReplicaDriver<B> {
@@ -250,7 +273,16 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
             clock_ms: 0.0,
             step_index: 0,
             result,
+            sink: None,
+            replica_id: 0,
         }
+    }
+
+    /// Attach a telemetry sink; emitted events carry `replica_id` as their
+    /// slot label (the fleet controller attaches one handle per slot).
+    pub fn attach_sink(&mut self, sink: SharedSink, replica_id: usize) {
+        self.sink = Some(sink);
+        self.replica_id = replica_id;
     }
 
     /// The backend the driver executes on.
@@ -445,12 +477,26 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
                 let request = self.queue.pop_front().expect("front exists");
                 self.reserved_tokens = candidate;
                 self.result.admitted += 1;
+                if let Some(sink) = &self.sink {
+                    sink.emit(TraceEvent::Admitted {
+                        id: request.id,
+                        replica: self.replica_id,
+                        at_ms: self.clock_ms,
+                    });
+                }
                 self.running
                     .push(RunningRequest::new(request, self.clock_ms));
             } else if self.running.is_empty() {
                 // Even an empty system cannot hold this request.
                 let rejected = self.queue.pop_front().expect("front exists");
                 self.outstanding -= rejected.total_tokens();
+                if let Some(sink) = &self.sink {
+                    sink.emit(TraceEvent::Rejected {
+                        id: rejected.id,
+                        replica: self.replica_id,
+                        at_ms: self.clock_ms,
+                    });
+                }
                 self.result.rejected.push(rejected);
             } else {
                 break;
@@ -472,6 +518,19 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         let start_ms = self.clock_ms;
         self.clock_ms += time_ms;
         self.step_index += 1;
+        if let Some(sink) = &self.sink {
+            sink.emit(TraceEvent::Step {
+                replica: self.replica_id,
+                start_ms,
+                total_ms: time_ms,
+                compute_ms: cost.compute_ms,
+                collective_ms: cost.collective_ms,
+                intra_island_ms: cost.intra_island_ms,
+                spine_ms: cost.spine_ms,
+                prefill_tokens: batch.prefill_tokens(),
+                decode_tokens: batch.decode.len(),
+            });
+        }
 
         // Apply progress (debiting the outstanding-work counter token by
         // token, so it stays exact without ever rescanning the queue).
@@ -487,6 +546,13 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
                     self.outstanding -= 1;
                 }
                 r.first_token_ms = Some(self.clock_ms);
+                if let Some(sink) = &self.sink {
+                    sink.emit(TraceEvent::FirstToken {
+                        id: r.request.id,
+                        replica: self.replica_id,
+                        at_ms: self.clock_ms,
+                    });
+                }
             }
         }
         for &i in &batch.decode {
@@ -497,6 +563,13 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
             }
             if r.first_token_ms.is_none() {
                 r.first_token_ms = Some(self.clock_ms);
+                if let Some(sink) = &self.sink {
+                    sink.emit(TraceEvent::FirstToken {
+                        id: r.request.id,
+                        replica: self.replica_id,
+                        at_ms: self.clock_ms,
+                    });
+                }
             }
         }
 
@@ -505,12 +578,24 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         for r in self.running.drain(..) {
             if r.decoded >= r.request.output_len {
                 self.reserved_tokens -= r.request.total_tokens();
-                self.result.completed.push(CompletedRequest {
+                let completed = CompletedRequest {
                     request: r.request,
                     admitted_ms: r.admitted_ms,
                     first_token_ms: r.first_token_ms.unwrap_or(self.clock_ms),
                     finished_ms: self.clock_ms,
-                });
+                };
+                if let Some(sink) = &self.sink {
+                    sink.emit(TraceEvent::Completed {
+                        id: completed.request.id,
+                        replica: self.replica_id,
+                        arrival_ms: completed.request.arrival_ms,
+                        admitted_ms: completed.admitted_ms,
+                        first_token_ms: completed.first_token_ms,
+                        finished_ms: completed.finished_ms,
+                        output_len: completed.request.output_len,
+                    });
+                }
+                self.result.completed.push(completed);
             } else {
                 still_running.push(r);
             }

@@ -1,0 +1,135 @@
+//! Property-based ordering contract of the fleet event queue: ascending
+//! timestamps, same-timestamp ties broken by event class, same-class ties
+//! broken FIFO. Timestamps are drawn from a tiny pool so nearly every case
+//! is tie-heavy — the regime where a sloppy comparator would still pass a
+//! uniform-random test.
+
+use proptest::collection::vec as pvec;
+use proptest::prelude::*;
+use samoyeds_serve::{EventQueue, FleetEvent};
+
+/// The public ordering class (mirrors the queue's internal tie-break: see
+/// `FleetEvent::class` — warm-ups, then retirements, then ticks, then
+/// arrivals, then step completions).
+fn class(event: &FleetEvent) -> u8 {
+    match event {
+        FleetEvent::WarmupComplete { .. } => 0,
+        FleetEvent::DrainRetire { .. } => 1,
+        FleetEvent::ControlTick { .. } => 2,
+        FleetEvent::Arrival { .. } => 3,
+        FleetEvent::StepCompletion { .. } => 4,
+    }
+}
+
+fn arb_event() -> impl Strategy<Value = FleetEvent> {
+    (0u8..5, 0usize..64).prop_map(|(kind, idx)| match kind {
+        0 => FleetEvent::WarmupComplete { slot: idx % 8 },
+        1 => FleetEvent::DrainRetire { slot: idx % 8 },
+        2 => FleetEvent::ControlTick {
+            index: 1 + (idx as u64) % 16,
+        },
+        3 => FleetEvent::Arrival { index: idx },
+        _ => FleetEvent::StepCompletion { slot: idx % 8 },
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Equal-timestamp events pop in class order, and same-class ties pop
+    /// in push (FIFO) order — the full deterministic contract the control
+    /// plane's replay stability rests on.
+    #[test]
+    fn pops_ascend_by_time_then_class_then_fifo(
+        pushes in pvec((0u8..4, arb_event()), 1..200),
+    ) {
+        let mut queue = EventQueue::new();
+        // A 4-value timestamp pool over up to 200 events forces dozens of
+        // exact ties per case.
+        for &(t, event) in &pushes {
+            queue.push(t as f64 * 0.5, event);
+        }
+        prop_assert_eq!(queue.len(), pushes.len());
+
+        let mut popped = Vec::new();
+        while let Some((at_ms, event)) = queue.pop() {
+            popped.push((at_ms, event));
+        }
+        prop_assert_eq!(popped.len(), pushes.len());
+
+        // Ascending (time, class); FIFO within equal (time, class) is
+        // checked against the original push order below.
+        for pair in popped.windows(2) {
+            let (t0, e0) = &pair[0];
+            let (t1, e1) = &pair[1];
+            prop_assert!(
+                (*t0, class(e0)) <= (*t1, class(e1)),
+                "out of order: ({t0}, {:?}) before ({t1}, {:?})", e0, e1
+            );
+        }
+
+        // FIFO: for each (time, class) bucket the popped subsequence equals
+        // the pushed subsequence, element for element.
+        for t in 0u8..4 {
+            let at_ms = t as f64 * 0.5;
+            for c in 0u8..5 {
+                let pushed: Vec<FleetEvent> = pushes
+                    .iter()
+                    .filter(|(pt, e)| *pt == t && class(e) == c)
+                    .map(|&(_, e)| e)
+                    .collect();
+                let got: Vec<FleetEvent> = popped
+                    .iter()
+                    .filter(|(pat, e)| *pat == at_ms && class(e) == c)
+                    .map(|&(_, e)| e)
+                    .collect();
+                prop_assert_eq!(got, pushed, "bucket t={} class={}", t, c);
+            }
+        }
+    }
+
+    /// Interleaved pushes and pops agree with a brute-force shadow model:
+    /// every pop returns exactly the queued event with the smallest
+    /// (time, class, arrival-sequence) key, even when later pushes insert
+    /// earlier timestamps between pops.
+    #[test]
+    fn interleaved_pops_match_a_shadow_model(
+        ops in pvec((0u8..3, arb_event()), 1..120),
+    ) {
+        let mut queue = EventQueue::new();
+        let mut model: Vec<(f64, u8, usize, FleetEvent)> = Vec::new();
+        for (seq, &(t, event)) in ops.iter().enumerate() {
+            let at_ms = t as f64;
+            queue.push(at_ms, event);
+            model.push((at_ms, class(&event), seq, event));
+            if seq % 3 == 2 {
+                let (got_ms, got) = queue.pop().expect("queue is non-empty");
+                let best = model
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("model is non-empty");
+                let (want_ms, _, _, want) = model.remove(best);
+                prop_assert_eq!((got_ms, got), (want_ms, want));
+            }
+        }
+        // Drain: the remainder keeps matching the model to emptiness.
+        while let Some((got_ms, got)) = queue.pop() {
+            let best = model
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2))
+                })
+                .map(|(i, _)| i)
+                .expect("model tracks the queue");
+            let (want_ms, _, _, want) = model.remove(best);
+            prop_assert_eq!((got_ms, got), (want_ms, want));
+        }
+        prop_assert!(model.is_empty());
+        prop_assert!(queue.is_empty());
+    }
+}
