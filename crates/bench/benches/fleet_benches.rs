@@ -8,6 +8,7 @@
 //! it to drain.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use samoyeds_dist::FaultSweepReport;
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
@@ -98,6 +99,17 @@ fn bench_fleet_event_core(c: &mut Criterion) {
                 TraceRecorder::bounded(1 << 20),
             ))
         })
+    });
+
+    // Recovery-path cost: the full fault sweep (fail-fast, re-admission and
+    // re-admission-plus-replacement runs over the bursty demo trace, plus the
+    // topology-priced recovery replan). This prices what the control plane
+    // pays to simulate degraded-mode serving, so regressions in the fault
+    // path join the tracked perf trajectory.
+    let model = MoeModelConfig::qwen2_moe();
+    let scfg = SchedulerConfig::default();
+    group.bench_function("fault_sweep", |b| {
+        b.iter(|| black_box(FaultSweepReport::sweep(&model, &scfg).entries.len()))
     });
 
     group.finish();

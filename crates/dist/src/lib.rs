@@ -65,10 +65,14 @@ pub mod topology;
 pub use backend::{ClusterAdmissionBudget, ClusterBackend};
 pub use cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator, ClusterStepReport};
 pub use link::LinkSpec;
-pub use placement::{ClusterEngine, ClusterMemoryModel, ExpertPlacement, PlacementStrategy};
+pub use placement::{
+    replan_after_crash, ClusterEngine, ClusterMemoryModel, ExpertMove, ExpertPlacement,
+    PlacementStrategy, RecoveryPlan,
+};
 pub use report::{
     render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
-    ClusterServingEntry, ClusterServingReport, FleetAutoscaleEntry, FleetAutoscaleReport,
-    FleetKind, FleetTraceReport, TopologySweepEntry, TopologySweepOutcome, TopologySweepReport,
+    ClusterServingEntry, ClusterServingReport, FaultSweepEntry, FaultSweepReport,
+    FleetAutoscaleEntry, FleetAutoscaleReport, FleetKind, FleetTraceReport, TopologySweepEntry,
+    TopologySweepOutcome, TopologySweepReport,
 };
 pub use topology::{ClusterTopology, FlowMatrix, HierarchicalCost, Island, PairOverride};

@@ -504,6 +504,166 @@ impl ExpertPlacement {
     }
 }
 
+/// One expert weight transfer in a [`RecoveryPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertMove {
+    /// The expert being re-placed.
+    pub expert: usize,
+    /// The GPU the weights stream from (a surviving replica, or the
+    /// checkpoint-staging GPU for sole-copy experts).
+    pub from: usize,
+    /// The surviving GPU that takes the new copy.
+    pub to: usize,
+}
+
+/// The re-placement a crashed GPU's experts get, with the weight-transfer
+/// bill priced over the cluster topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPlan {
+    /// The post-recovery shard map: the crashed GPU's slot is kept (empty)
+    /// so GPU ids stay stable; every lost expert has a new home among the
+    /// survivors.
+    pub placement: ExpertPlacement,
+    /// One entry per re-placed expert copy.
+    pub moves: Vec<ExpertMove>,
+    /// Total weight bytes transferred.
+    pub transfer_bytes: f64,
+    /// The transfer priced as one all-to-all over the topology: intra-island
+    /// moves ride the island fabric, cross-island moves pay the spine.
+    pub cost: crate::topology::HierarchicalCost,
+}
+
+impl RecoveryPlan {
+    /// Wall-clock of the weight transfer.
+    pub fn transfer_ms(&self) -> f64 {
+        self.cost.total_ms()
+    }
+}
+
+/// Re-place the experts lost when `crashed_gpu` dies, from surviving
+/// replicas where they exist.
+///
+/// Every expert copy the crashed GPU owned gets a new home on a surviving
+/// GPU with memory headroom that does not already own it — least effective
+/// load first, then fewest owned experts, then lowest GPU id (the same
+/// tie-break as the greedy placement core), taking the hottest experts
+/// first. The weights stream from a surviving replica of the same expert
+/// (preferring one in the destination's island, so the copy stays off the
+/// spine); a *sole-copy* expert has no survivor, so its weights stream from
+/// `checkpoint_gpu` — the GPU staging host checkpoints — and the call fails
+/// if none is given. The resulting transfer is priced as one all-to-all
+/// over `topology`, honoring dedicated pair links.
+///
+/// Errors if `crashed_gpu` is out of range, if no survivor remains, if a
+/// sole-copy expert is lost without a `checkpoint_gpu`, or if the surviving
+/// GPUs lack the memory headroom to absorb the lost experts.
+#[allow(clippy::too_many_arguments)]
+pub fn replan_after_crash(
+    placement: &ExpertPlacement,
+    crashed_gpu: usize,
+    loads: &[usize],
+    topology: &crate::topology::ClusterTopology,
+    memory: &ClusterMemoryModel,
+    resident_tokens: usize,
+    step_tokens: usize,
+    checkpoint_gpu: Option<usize>,
+) -> Result<RecoveryPlan> {
+    let num_gpus = placement.num_gpus();
+    if crashed_gpu >= num_gpus {
+        return Err(SparseError::config(format!(
+            "crashed GPU {crashed_gpu} out of range for a {num_gpus}-GPU placement"
+        )));
+    }
+    if num_gpus < 2 {
+        return Err(SparseError::config(
+            "recovery needs at least one surviving GPU",
+        ));
+    }
+    if topology.num_gpus() != num_gpus {
+        return Err(SparseError::config(format!(
+            "topology covers {} GPUs but the placement has {num_gpus}",
+            topology.num_gpus()
+        )));
+    }
+    let capacity = memory.max_experts_per_gpu(resident_tokens, step_tokens);
+    let island_of = topology.island_lookup();
+
+    let mut gpu_experts = placement.gpu_experts.clone();
+    let mut lost: Vec<usize> = std::mem::take(&mut gpu_experts[crashed_gpu]);
+    // Hottest first, ties by id: the order the greedy core would use.
+    lost.sort_by_key(|&e| (std::cmp::Reverse(loads.get(e).copied().unwrap_or(0)), e));
+
+    // Effective load per survivor under the post-crash replica counts.
+    let interim = ExpertPlacement {
+        strategy: placement.strategy,
+        gpu_experts: gpu_experts.clone(),
+    };
+    let mut effective = interim.effective_gpu_loads(loads);
+
+    let mut moves = Vec::with_capacity(lost.len());
+    let mut flows = crate::topology::FlowMatrix::new(num_gpus);
+    let expert_bytes = memory.expert_bytes();
+    for e in lost {
+        let load = loads.get(e).copied().unwrap_or(0) as f64;
+        let dest = (0..num_gpus)
+            .filter(|&g| {
+                g != crashed_gpu && gpu_experts[g].len() < capacity && !gpu_experts[g].contains(&e)
+            })
+            .min_by(|&a, &b| {
+                effective[a]
+                    .partial_cmp(&effective[b])
+                    .expect("finite loads")
+                    .then(gpu_experts[a].len().cmp(&gpu_experts[b].len()))
+                    .then(a.cmp(&b))
+            })
+            .ok_or_else(|| {
+                SparseError::config(format!(
+                    "no surviving GPU has memory headroom for expert {e} \
+                     (capacity {capacity} experts/GPU)"
+                ))
+            })?;
+        // Source: a surviving replica, same island as the destination if one
+        // exists; otherwise the checkpoint-staging GPU.
+        let survivors: Vec<usize> = (0..num_gpus)
+            .filter(|&g| g != crashed_gpu && gpu_experts[g].contains(&e))
+            .collect();
+        let source = survivors
+            .iter()
+            .copied()
+            .find(|&g| island_of[g] == island_of[dest])
+            .or_else(|| survivors.first().copied())
+            .or(checkpoint_gpu)
+            .ok_or_else(|| {
+                SparseError::config(format!(
+                    "expert {e} lost its only replica and no checkpoint GPU is staged"
+                ))
+            })?;
+        gpu_experts[dest].push(e);
+        effective[dest] += load;
+        if source != dest {
+            flows.add(source, dest, expert_bytes);
+        }
+        moves.push(ExpertMove {
+            expert: e,
+            from: source,
+            to: dest,
+        });
+    }
+
+    let placement = ExpertPlacement {
+        strategy: placement.strategy,
+        gpu_experts,
+    };
+    placement.validate(memory, resident_tokens, step_tokens)?;
+    let cost = topology.all_to_all_ms(&flows);
+    Ok(RecoveryPlan {
+        placement,
+        transfer_bytes: moves.len() as f64 * expert_bytes,
+        moves,
+        cost,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,6 +791,100 @@ mod tests {
             .replica_counts(config.num_experts)
             .iter()
             .all(|&c| c == 1));
+    }
+
+    #[test]
+    fn replan_after_crash_rehomes_every_lost_expert_within_budget() {
+        use crate::link::LinkSpec;
+        use crate::topology::ClusterTopology;
+        let (memory, config) = qwen_on_a100();
+        let loads: Vec<usize> = (0..config.num_experts)
+            .map(|e| (4096.0 / ((e + 1) as f64).powf(1.3)) as usize)
+            .collect();
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        let placement = PlacementStrategy::CapacityGreedy
+            .place_on(&loads, &topology, &memory, 1024, 1024)
+            .unwrap();
+        // Sole-copy experts everywhere: recovery needs the checkpoint GPU.
+        assert!(
+            replan_after_crash(&placement, 0, &loads, &topology, &memory, 1024, 1024, None)
+                .is_err()
+        );
+        let plan = replan_after_crash(
+            &placement,
+            0,
+            &loads,
+            &topology,
+            &memory,
+            1024,
+            1024,
+            Some(7),
+        )
+        .unwrap();
+        // The crashed slot is kept but empty; every expert still has a copy.
+        assert!(plan.placement.gpu_experts[0].is_empty());
+        let replicas = plan.placement.replica_counts(config.num_experts);
+        assert!(replicas.iter().all(|&c| c >= 1), "{replicas:?}");
+        assert_eq!(plan.moves.len(), placement.gpu_experts[0].len());
+        assert!(plan.moves.iter().all(|m| m.from == 7 && m.to != 0));
+        assert!(plan.transfer_bytes > 0.0);
+        assert!(plan.transfer_ms() > 0.0 && plan.transfer_ms().is_finite());
+        plan.placement.validate(&memory, 1024, 1024).unwrap();
+    }
+
+    #[test]
+    fn replan_prefers_surviving_replicas_in_the_destination_island() {
+        use crate::link::LinkSpec;
+        use crate::topology::ClusterTopology;
+        let (memory, config) = qwen_on_a100();
+        let loads: Vec<usize> = (0..config.num_experts)
+            .map(|e| if e < 2 { 4096 } else { 32 })
+            .collect();
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .unwrap();
+        // Hot experts have a replica in each island, so a crash can always
+        // re-clone them from a survivor without touching the checkpoint.
+        let placement = PlacementStrategy::ReplicateHotPerIsland { hot: 2 }
+            .place_on(&loads, &topology, &memory, 1024, 1024)
+            .unwrap();
+        let plan = replan_after_crash(
+            &placement,
+            0,
+            &loads,
+            &topology,
+            &memory,
+            1024,
+            1024,
+            Some(4),
+        )
+        .unwrap();
+        for m in &plan.moves {
+            if m.expert < 2 {
+                // A replicated expert streams from a surviving replica, and
+                // the survivor chosen shares the destination's island when
+                // one exists there.
+                assert!(placement.gpu_experts[m.from].contains(&m.expert));
+            }
+        }
+        // Nothing exceeds budget and the crashed GPU stays empty.
+        plan.placement.validate(&memory, 1024, 1024).unwrap();
+        assert!(plan.placement.gpu_experts[0].is_empty());
+        // Degenerate calls fail loudly.
+        assert!(
+            replan_after_crash(&placement, 99, &loads, &topology, &memory, 1024, 1024, None)
+                .is_err()
+        );
+        let one_gpu = ExpertPlacement {
+            strategy: PlacementStrategy::RoundRobin,
+            gpu_experts: vec![vec![0]],
+        };
+        let flat = ClusterTopology::flat(1, LinkSpec::nvlink3());
+        assert!(
+            replan_after_crash(&one_gpu, 0, &[1], &flat, &memory, 1024, 1024, Some(0)).is_err()
+        );
     }
 
     #[test]

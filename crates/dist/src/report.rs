@@ -11,7 +11,7 @@
 use crate::backend::ClusterBackend;
 use crate::cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator};
 use crate::link::LinkSpec;
-use crate::placement::{ClusterEngine, PlacementStrategy};
+use crate::placement::{replan_after_crash, ClusterEngine, ClusterMemoryModel, PlacementStrategy};
 use crate::topology::ClusterTopology;
 use rayon::prelude::*;
 use samoyeds_gpu_sim::DeviceSpec;
@@ -20,9 +20,10 @@ use samoyeds_moe::engines::EngineKind;
 use samoyeds_moe::router::TopKRouter;
 use samoyeds_serve::{
     chrome_trace_json, request_timelines, AttributionSummary, BurstyTraceConfig, DispatchPolicy,
-    ExecutionBackend, FleetConfig, FleetController, FleetMetrics, MetricsRegistry, RequestTimeline,
-    Scheduler, SchedulerConfig, ServingMetrics, SharedSink, SingleGpuBackend, SloAutoscaler,
-    TraceConfig, TraceEvent, TraceRecorder, TraceSink,
+    ExecutionBackend, FaultKind, FaultSchedule, FaultSpec, FleetConfig, FleetController,
+    FleetMetrics, MetricsRegistry, RecoveryPolicy, Request, RequestTimeline, Scheduler,
+    SchedulerConfig, ServingMetrics, SharedSink, SingleGpuBackend, SloAutoscaler, TraceConfig,
+    TraceEvent, TraceRecorder, TraceSink,
 };
 
 /// One (device, engine, GPU-count) cell of the sweep.
@@ -934,6 +935,300 @@ impl FleetTraceReport {
     }
 }
 
+/// One recovery-policy cell of the fault sweep.
+#[derive(Debug, Clone)]
+pub struct FaultSweepEntry {
+    /// Human-readable recovery-policy name.
+    pub policy: &'static str,
+    /// The weight-transfer time the policy charges before re-admission.
+    pub transfer_ms: f64,
+    /// The run's fleet metrics, including the fault timeline.
+    pub metrics: FleetMetrics,
+    /// p95-TTFT SLO attainment over requests arriving before the first
+    /// fault (`None` when no requests arrive in the phase).
+    pub slo_before: Option<f64>,
+    /// Attainment over requests arriving between the first fault and the
+    /// last recovery.
+    pub slo_during: Option<f64>,
+    /// Attainment over requests arriving after the last recovery.
+    pub slo_after: Option<f64>,
+}
+
+/// The fault sweep: one shared bursty trace served by the same fleet under
+/// an identical scripted fault schedule (a replica crash mid-spike plus a
+/// later link degradation) with three recovery policies — fail-fast,
+/// re-admission, and re-admission plus a cold replacement. The re-admission
+/// weight-transfer time is not a free parameter: it is priced by
+/// [`replan_after_crash`] over a two-island cluster topology, so the
+/// recovery bill the control plane pays is the one the placement layer
+/// computes (intra-island copies ride NVLink, sole-copy experts stream
+/// cross-island over the spine).
+#[derive(Debug, Clone)]
+pub struct FaultSweepReport {
+    /// The model served.
+    pub model: String,
+    /// Requests in the shared trace.
+    pub num_requests: usize,
+    /// The p95-TTFT SLO the attainment phases are measured against.
+    pub slo_ms: f64,
+    /// When the replica crash fires.
+    pub fault_at_ms: f64,
+    /// The dist-priced weight-transfer time charged on re-admission.
+    pub transfer_ms: f64,
+    /// Weight bytes the recovery plan moves.
+    pub transfer_bytes: f64,
+    /// One entry per recovery policy, in fail-fast / re-admit /
+    /// re-admit + replace order.
+    pub entries: Vec<FaultSweepEntry>,
+    /// The re-admission run's recorded event stream (fault and recovery
+    /// instants included), for the Chrome trace export.
+    pub events: Vec<TraceEvent>,
+    /// Replica track names for the Chrome trace export.
+    pub replica_names: Vec<String>,
+}
+
+impl FaultSweepReport {
+    /// The scripted schedule every cell replays: the first replica crashes
+    /// at `fault_at_ms` (mid-spike), and a second replica's link degrades
+    /// for 750 ms two seconds later.
+    fn schedule(fault_at_ms: f64) -> FaultSchedule {
+        FaultSchedule::Scripted(vec![
+            FaultSpec {
+                at_ms: fault_at_ms,
+                kind: FaultKind::ReplicaCrash { replica: 0 },
+            },
+            FaultSpec {
+                at_ms: fault_at_ms + 2_000.0,
+                kind: FaultKind::LinkDegrade {
+                    replica: 1,
+                    duration_ms: 750.0,
+                },
+            },
+        ])
+    }
+
+    /// SLO attainment over requests arriving in `[lo, hi)`: completions
+    /// within the TTFT target over requests offered, so a request the crash
+    /// destroys (or delays past the target) counts against the phase it
+    /// arrived in.
+    fn attainment(
+        offered: &[Request],
+        timelines: &[RequestTimeline],
+        slo_ms: f64,
+        lo: f64,
+        hi: f64,
+    ) -> Option<f64> {
+        // Phase membership is the *original* arrival time: a re-admitted
+        // request's timeline restarts its clock at the recovery instant, but
+        // it still counts against the phase it first arrived in (matched by
+        // id), with its TTFT charged from that original arrival — so the
+        // crash's delay shows up in the phase it hit, and attainment can
+        // never exceed 100%.
+        let offered: Vec<(u64, f64)> = offered
+            .iter()
+            .filter(|r| r.arrival_ms >= lo && r.arrival_ms < hi)
+            .map(|r| (r.id, r.arrival_ms))
+            .collect();
+        if offered.is_empty() {
+            return None;
+        }
+        let attained = offered
+            .iter()
+            .filter(|(id, arrival_ms)| {
+                timelines
+                    .iter()
+                    .any(|t| t.id == *id && t.arrival_ms + t.ttft_ms() - arrival_ms <= slo_ms)
+            })
+            .count();
+        Some(attained as f64 / offered.len() as f64)
+    }
+
+    /// Run the sweep: three A100 Samoyeds singles (plus a factory for the
+    /// replacement policy) serving [`FleetAutoscaleReport::demo_trace`],
+    /// crash at 3.4 s (the spike backlog is in flight), SLO 400 ms.
+    pub fn sweep(model: &MoeModelConfig, scfg: &SchedulerConfig) -> Self {
+        let requests = FleetAutoscaleReport::demo_trace().generate();
+        let fault_at_ms = 3_400.0;
+        let slo_ms = 400.0;
+
+        // Price the recovery transfer with the placement layer: a 2×4
+        // cluster, capacity-greedy placement, GPU 0 dies, checkpoint staged
+        // behind GPU 4 (the other island's leader).
+        let device = DeviceSpec::a100_40g();
+        let memory = ClusterMemoryModel::new(&device, ClusterEngine::Samoyeds, model);
+        let topology =
+            ClusterTopology::symmetric(2, 4, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .expect("2×4 demo topology is valid");
+        let loads = vec![1_024usize; model.num_experts];
+        let plan = PlacementStrategy::CapacityGreedy
+            .place_on(&loads, &topology, &memory, 1_024, 1_024)
+            .and_then(|p| {
+                replan_after_crash(&p, 0, &loads, &topology, &memory, 1_024, 1_024, Some(4))
+            })
+            .expect("demo recovery plan is feasible");
+        let transfer_ms = plan.transfer_ms();
+        let transfer_bytes = plan.transfer_bytes;
+
+        let policies: [(&'static str, RecoveryPolicy); 3] = [
+            ("fail-fast", RecoveryPolicy::fail_fast()),
+            ("re-admit", RecoveryPolicy::readmit_after(transfer_ms)),
+            (
+                "re-admit + replace",
+                RecoveryPolicy::readmit_and_replace(transfer_ms),
+            ),
+        ];
+        let mut entries = Vec::with_capacity(policies.len());
+        let mut events = Vec::new();
+        let mut replica_names = Vec::new();
+        for (name, policy) in policies {
+            let config = FleetConfig {
+                scheduler: *scfg,
+                policy: DispatchPolicy::least_outstanding(),
+                tick_ms: 200.0,
+                window_ms: 1_000.0,
+                warmup_ms: 1_500.0,
+                min_replicas: 1,
+                max_replicas: 4,
+                ..FleetConfig::default()
+            };
+            let factory_model = model.clone();
+            let factory_device = device.clone();
+            let factory_scfg = *scfg;
+            let single = move || {
+                Box::new(SingleGpuBackend::new(
+                    factory_device.clone(),
+                    &factory_model,
+                    EngineKind::Samoyeds,
+                    &factory_scfg,
+                )) as Box<dyn ExecutionBackend>
+            };
+            let (sink, recorder) = SharedSink::new(TraceRecorder::new());
+            let metrics = FleetController::new(config)
+                .with_replica(single())
+                .with_replica(single())
+                .with_replica(single())
+                .with_factory(single)
+                .with_faults(Self::schedule(fault_at_ms), policy)
+                .with_sink(sink)
+                .run(&requests);
+            let run_events = recorder.borrow().events();
+            let timelines = request_timelines(&run_events);
+            // Phase boundary: the last recovery the run saw (the link
+            // restoration at minimum, the crash recovery when enabled).
+            let recovered = metrics
+                .faults
+                .iter()
+                .filter_map(|f| f.recovered_at_ms)
+                .fold(fault_at_ms, f64::max);
+            let slo_before = Self::attainment(&requests, &timelines, slo_ms, 0.0, fault_at_ms);
+            let slo_during =
+                Self::attainment(&requests, &timelines, slo_ms, fault_at_ms, recovered);
+            let slo_after =
+                Self::attainment(&requests, &timelines, slo_ms, recovered, f64::INFINITY);
+            if name == "re-admit" {
+                events = run_events;
+                replica_names = metrics
+                    .per_replica
+                    .iter()
+                    .map(|r| r.description.clone())
+                    .collect();
+            }
+            entries.push(FaultSweepEntry {
+                policy: name,
+                transfer_ms: policy.transfer_ms,
+                metrics,
+                slo_before,
+                slo_during,
+                slo_after,
+            });
+        }
+        Self {
+            model: model.name.clone(),
+            num_requests: requests.len(),
+            slo_ms,
+            fault_at_ms,
+            transfer_ms,
+            transfer_bytes,
+            entries,
+            events,
+            replica_names,
+        }
+    }
+
+    /// The acceptance-criterion cell: the re-admission run's crash-recovery
+    /// time and failed-request count (finite and zero respectively when
+    /// recovery works).
+    pub fn readmit_recovery(&self) -> Option<(f64, usize)> {
+        let entry = self.entries.iter().find(|e| e.policy == "re-admit")?;
+        let crash = entry
+            .metrics
+            .faults
+            .iter()
+            .find(|f| matches!(f.kind, FaultKind::ReplicaCrash { .. }))?;
+        Some((crash.recovery_ms()?, entry.metrics.failed()))
+    }
+
+    /// The Chrome trace-event JSON of the re-admission run (fault and
+    /// recovery instants included).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.events, &self.replica_names)
+    }
+
+    /// Render the sweep as markdown: the policy table plus the re-admission
+    /// run's fault timeline and drain status.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let pct = |v: Option<f64>| match v {
+            Some(f) => format!("{:.0}%", f * 100.0),
+            None => "-".to_string(),
+        };
+        let mut rows = vec![
+            format!(
+                "Fault sweep: {} ({} requests, crash at {:.1} s, transfer {:.1} ms \
+                 / {:.0} MiB priced over the 2×4 topology)",
+                self.model,
+                self.num_requests,
+                self.fault_at_ms / 1e3,
+                self.transfer_ms,
+                self.transfer_bytes / (1u64 << 20) as f64,
+            ),
+            format!(
+                "| policy | served | failed | re-admitted | recovery (ms) | \
+                 SLO {:.0} ms before | during | after |",
+                self.slo_ms
+            ),
+            "|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            let crash = e
+                .metrics
+                .faults
+                .iter()
+                .find(|f| matches!(f.kind, FaultKind::ReplicaCrash { .. }));
+            let recovery = match crash.and_then(|f| f.recovery_ms()) {
+                Some(ms) => format!("{ms:.1}"),
+                None => "-".to_string(),
+            };
+            rows.push(format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {} |",
+                e.policy,
+                e.metrics.completed,
+                e.metrics.failed(),
+                crash.map(|f| f.readmitted).unwrap_or(0),
+                recovery,
+                pct(e.slo_before),
+                pct(e.slo_during),
+                pct(e.slo_after),
+            ));
+        }
+        if let Some(readmit) = self.entries.iter().find(|e| e.policy == "re-admit") {
+            rows.push(String::new());
+            rows.extend(readmit.metrics.render_fault_timeline());
+            rows.push(format!("drain: {}", readmit.metrics.drain_status()));
+        }
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1103,6 +1398,57 @@ mod tests {
         assert!(m.per_replica[1].assigned > 0);
         // The timeline renders with one row per event.
         assert_eq!(m.render_timeline().len(), 2 + m.scale_events.len());
+    }
+
+    #[test]
+    fn fault_sweep_recovers_with_zero_lost_requests_under_readmission() {
+        let report =
+            FaultSweepReport::sweep(&MoeModelConfig::qwen2_moe(), &SchedulerConfig::default());
+        assert_eq!(report.entries.len(), 3);
+        // The transfer bill comes from the placement layer and is real.
+        assert!(report.transfer_ms > 0.0 && report.transfer_ms.is_finite());
+        assert!(report.transfer_bytes > 0.0);
+        // Acceptance criterion: finite recovery time, zero lost requests
+        // when re-admission is on.
+        let (recovery_ms, failed) = report.readmit_recovery().expect("crash recovered");
+        assert!(recovery_ms.is_finite() && recovery_ms >= report.transfer_ms - 1e-6);
+        assert_eq!(failed, 0);
+        for e in &report.entries {
+            // Conservation in every cell: served + rejected + failed covers
+            // the offered trace.
+            assert_eq!(
+                e.metrics.completed + e.metrics.rejected + e.metrics.failed(),
+                report.num_requests,
+                "{}",
+                e.policy
+            );
+            assert_eq!(e.metrics.faults.len(), 2, "{}", e.policy);
+        }
+        // Fail-fast loses the crashed replica's in-flight work; the
+        // re-admission policies do not.
+        let fail_fast = &report.entries[0];
+        assert!(fail_fast.metrics.failed() > 0);
+        assert_eq!(report.entries[1].metrics.failed(), 0);
+        assert_eq!(report.entries[2].metrics.failed(), 0);
+        // The replacement policy commissions a new replica.
+        let crash = report.entries[2]
+            .metrics
+            .faults
+            .iter()
+            .find(|f| matches!(f.kind, FaultKind::ReplicaCrash { .. }))
+            .unwrap();
+        assert!(crash.replacement.is_some());
+        // The re-admission run's trace carries fault + recovery instants.
+        let json = report.chrome_trace();
+        assert!(json.contains("\"replica crashed\""));
+        assert!(json.contains("\"recovery started\""));
+        assert!(json.contains("\"recovery complete\""));
+        assert!(json.contains("\"link degraded\""));
+        assert!(json.contains("\"link restored\""));
+        let rows = report.render_markdown();
+        assert!(rows.iter().any(|r| r.contains("fail-fast")));
+        assert!(rows.iter().any(|r| r.contains("re-admit + replace")));
+        assert!(rows.iter().any(|r| r.starts_with("drain:")));
     }
 
     #[test]

@@ -214,6 +214,31 @@ impl ClusterTopology {
         self
     }
 
+    /// [`ClusterTopology::with_pair_override`] with the endpoint checks
+    /// applied eagerly: rejects out-of-range GPU ids, self-links, and a
+    /// second override for a pair that already has one — the same rules
+    /// [`ClusterTopology::validate`] enforces, but at the construction site
+    /// instead of whenever validation eventually runs.
+    pub fn try_with_pair_override(self, a: usize, b: usize, link: LinkSpec) -> Result<Self> {
+        let n = self.num_gpus();
+        if a >= n || b >= n || a == b {
+            return Err(SparseError::config(format!(
+                "pair override ({a}, {b}) invalid for a {n}-GPU topology"
+            )));
+        }
+        if self
+            .pair_overrides
+            .iter()
+            .any(|p| (p.a == a && p.b == b) || (p.a == b && p.b == a))
+        {
+            return Err(SparseError::config(format!(
+                "duplicate pair override for GPUs ({a}, {b}); replace the \
+                 existing entry instead of stacking a second link"
+            )));
+        }
+        Ok(self.with_pair_override(a, b, link))
+    }
+
     /// Total GPUs across all islands.
     pub fn num_gpus(&self) -> usize {
         self.islands.iter().map(|i| i.gpus).sum()
@@ -562,5 +587,32 @@ mod tests {
             .with_pair_override(1, 0, LinkSpec::nvlink3())
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn try_with_pair_override_rejects_bad_endpoints_at_construction() {
+        let topo = ClusterTopology::flat(2, LinkSpec::nvlink3());
+        // Out of range, self-link, duplicate (either direction): rejected
+        // eagerly instead of waiting for validate().
+        assert!(topo
+            .clone()
+            .try_with_pair_override(0, 5, LinkSpec::nvlink3())
+            .is_err());
+        assert!(topo
+            .clone()
+            .try_with_pair_override(1, 1, LinkSpec::nvlink3())
+            .is_err());
+        let with_link = topo
+            .clone()
+            .try_with_pair_override(0, 1, LinkSpec::pcie_gen4())
+            .expect("in-range distinct pair is accepted");
+        assert!(with_link
+            .clone()
+            .try_with_pair_override(1, 0, LinkSpec::nvlink3())
+            .is_err());
+        // The accepted topology passes full validation and prices traffic
+        // over the dedicated link like the unchecked builder would.
+        assert!(with_link.validate().is_ok());
+        assert_eq!(with_link.pair_overrides.len(), 1);
     }
 }

@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use samoyeds_dist::{
-    ClusterBackend, ClusterConfig, ClusterEngine, ClusterMemoryModel, ClusterSimulator,
-    ClusterTopology, FlowMatrix, LinkSpec, PlacementStrategy,
+    replan_after_crash, ClusterBackend, ClusterConfig, ClusterEngine, ClusterMemoryModel,
+    ClusterSimulator, ClusterTopology, FlowMatrix, LinkSpec, PlacementStrategy,
 };
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
@@ -404,6 +404,94 @@ proptest! {
                     capacity < needed + 3,
                     "placement failed with capacity {capacity} and balanced need {needed}"
                 );
+            }
+        }
+    }
+
+    /// Post-recovery placements never exceed per-GPU memory budgets:
+    /// whenever `replan_after_crash` produces a plan, every survivor —
+    /// including those that absorbed the crashed GPU's experts — still fits
+    /// weights, KV share and activation workspace; the crashed GPU is left
+    /// empty; no expert lost coverage; and the priced weight transfer is
+    /// finite.
+    #[test]
+    fn recovery_replans_respect_memory_budgets(
+        islands in 1usize..5,
+        gpus_per_island in 1usize..4,
+        strategy in arb_strategy(),
+        crashed_raw in 0usize..16,
+        resident_tokens in 0usize..8192,
+        step_tokens in 1usize..4096,
+        engine_idx in 0usize..3,
+        use_checkpoint in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let engine = ClusterEngine::all()[engine_idx];
+        let model = MoeModelConfig::qwen2_moe();
+        let device = DeviceSpec::a100_40g();
+        let memory = ClusterMemoryModel::new(&device, engine, &model);
+        let topology = ClusterTopology::symmetric(
+            islands,
+            gpus_per_island,
+            LinkSpec::nvlink3(),
+            LinkSpec::infiniband_ndr(),
+        )
+        .unwrap();
+        let loads = TopKRouter::for_config(&model, seed).route(256).expert_loads();
+        // Nothing to crash if the healthy placement doesn't fit.
+        let healthy = strategy.place_on(&loads, &topology, &memory, resident_tokens, step_tokens);
+        let plan = healthy.ok().and_then(|placement| {
+            let crashed = crashed_raw % topology.num_gpus();
+            // The checkpoint host is modelled as a surviving GPU endpoint.
+            let checkpoint = if use_checkpoint {
+                Some((crashed + 1) % topology.num_gpus())
+            } else {
+                None
+            };
+            replan_after_crash(
+                &placement,
+                crashed,
+                &loads,
+                &topology,
+                &memory,
+                resident_tokens,
+                step_tokens,
+                checkpoint,
+            )
+            .ok()
+            .map(|plan| (crashed, plan))
+        });
+        if let Some((crashed, plan)) = plan {
+            // The crashed slot is kept (stable GPU ids) but owns nothing.
+            prop_assert_eq!(plan.placement.num_gpus(), topology.num_gpus());
+            prop_assert!(plan.placement.assignments()[crashed].is_empty());
+            // No expert lost coverage in the recovered placement.
+            let replicas = plan.placement.replica_counts(model.num_experts);
+            prop_assert!(replicas.iter().all(|&c| c >= 1));
+            // Direct budget check on every survivor, not just validate().
+            for (gpu, owned) in plan.placement.assignments().iter().enumerate() {
+                if gpu == crashed {
+                    continue;
+                }
+                let bytes = memory.gpu_bytes(owned.len(), resident_tokens, step_tokens);
+                prop_assert!(
+                    bytes <= memory.budget_bytes(),
+                    "survivor {} with {} experts uses {:.2} of {:.2} GiB",
+                    gpu,
+                    owned.len(),
+                    bytes / (1u64 << 30) as f64,
+                    memory.budget_bytes() / (1u64 << 30) as f64,
+                );
+            }
+            // Every move re-homes onto a survivor, never the crashed GPU.
+            for m in &plan.moves {
+                prop_assert!(m.to != crashed);
+                prop_assert!(m.to < topology.num_gpus());
+            }
+            prop_assert!(plan.transfer_ms().is_finite());
+            prop_assert!(plan.transfer_ms() >= 0.0);
+            if !plan.moves.is_empty() {
+                prop_assert!(plan.transfer_bytes > 0.0);
             }
         }
     }

@@ -15,8 +15,9 @@
 //! events that share a timestamp must be total and must reproduce the legacy
 //! loop's interleaving. Two events at the same time are ordered by *event
 //! class* — warm-up completions first (a replica is routable the instant its
-//! warm-up lands), then drain retirements, control ticks, arrivals, and step
-//! completions — and ties within a class are FIFO by insertion sequence.
+//! warm-up lands), then drain retirements, injected faults and their
+//! recoveries, control ticks, arrivals, and step completions — and ties
+//! within a class are FIFO by insertion sequence.
 
 /// One schedulable occurrence in the fleet simulation.
 ///
@@ -33,6 +34,18 @@ pub enum FleetEvent {
     DrainRetire {
         /// Index of the slot in the controller's replica table.
         slot: usize,
+    },
+    /// An injected fault fires (replica crash, link degradation, island
+    /// partition — see `serve::faults`).
+    Fault {
+        /// Index into the controller's resolved fault list.
+        index: usize,
+    },
+    /// A fault's recovery completes (re-admission after weight transfer, a
+    /// degraded link or partitioned island restoring).
+    FaultRecovery {
+        /// Index into the controller's resolved fault list.
+        index: usize,
     },
     /// The autoscaler's periodic observation point.
     ControlTick {
@@ -59,14 +72,20 @@ impl FleetEvent {
     /// that would observe them, retirements precede observation, ticks at
     /// `t` run before arrivals at `t` (the legacy loop drained
     /// `next_tick <= arrival_ms` before routing), and step completions only
-    /// matter once routing at that instant is done.
+    /// matter once routing at that instant is done. Faults land after
+    /// retirements but before the tick (and arrival) at the same instant:
+    /// the autoscaler observes the damage, and a request arriving the
+    /// instant a replica crashes is never routed to the corpse. A recovery
+    /// coinciding with the fault that scheduled it fires after it.
     fn class(self) -> u8 {
         match self {
             FleetEvent::WarmupComplete { .. } => 0,
             FleetEvent::DrainRetire { .. } => 1,
-            FleetEvent::ControlTick { .. } => 2,
-            FleetEvent::Arrival { .. } => 3,
-            FleetEvent::StepCompletion { .. } => 4,
+            FleetEvent::Fault { .. } => 2,
+            FleetEvent::FaultRecovery { .. } => 3,
+            FleetEvent::ControlTick { .. } => 4,
+            FleetEvent::Arrival { .. } => 5,
+            FleetEvent::StepCompletion { .. } => 6,
         }
     }
 }
@@ -188,6 +207,8 @@ mod tests {
         q.push(400.0, FleetEvent::StepCompletion { slot: 0 });
         q.push(400.0, FleetEvent::Arrival { index: 9 });
         q.push(400.0, FleetEvent::ControlTick { index: 2 });
+        q.push(400.0, FleetEvent::FaultRecovery { index: 4 });
+        q.push(400.0, FleetEvent::Fault { index: 4 });
         q.push(400.0, FleetEvent::DrainRetire { slot: 1 });
         q.push(400.0, FleetEvent::WarmupComplete { slot: 3 });
         let order: Vec<FleetEvent> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
@@ -196,6 +217,8 @@ mod tests {
             vec![
                 FleetEvent::WarmupComplete { slot: 3 },
                 FleetEvent::DrainRetire { slot: 1 },
+                FleetEvent::Fault { index: 4 },
+                FleetEvent::FaultRecovery { index: 4 },
                 FleetEvent::ControlTick { index: 2 },
                 FleetEvent::Arrival { index: 9 },
                 FleetEvent::StepCompletion { slot: 0 },

@@ -36,6 +36,7 @@
 use crate::backend::ExecutionBackend;
 use crate::dispatch::DispatchPolicy;
 use crate::events::{EventQueue, FleetEvent};
+use crate::faults::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, RecoveryPolicy};
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
 use crate::request::Request;
 use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
@@ -330,11 +331,23 @@ pub struct FleetMetrics {
     pub scale_events: Vec<ScaleEvent>,
     /// Ids of requests no replica could ever admit.
     pub unroutable_ids: Vec<u64>,
+    /// Ids of requests lost to a replica crash and never re-admitted
+    /// (fail-fast policy, or no survivor could take them). Disjoint from
+    /// [`Self::unroutable_ids`] and from per-replica rejections:
+    /// `completed + rejected + failed == offered` under any fault schedule.
+    pub failed_ids: Vec<u64>,
+    /// Outcome of every injected fault, in injection order (empty without
+    /// fault injection).
+    pub faults: Vec<FaultRecord>,
     /// Whether the post-trace drain hit [`FleetConfig::max_drain_ticks`]
     /// with work still outstanding. When set, the run stopped ticking
     /// instead of panicking and every figure above reflects only the work
     /// finished up to that point — treat the metrics as degraded.
     pub drain_incomplete: bool,
+    /// The replica slots that still held work when the drain cap hit
+    /// (empty when [`Self::drain_incomplete`] is false) — *which* replicas
+    /// were stuck, not just that something was.
+    pub drain_incomplete_replicas: Vec<usize>,
 }
 
 impl FleetMetrics {
@@ -374,6 +387,61 @@ impl FleetMetrics {
         }
         rows
     }
+
+    /// Requests lost to crashes and never re-admitted.
+    pub fn failed(&self) -> usize {
+        self.failed_ids.len()
+    }
+
+    /// Render the fault timeline as markdown rows (header only when no
+    /// faults fired).
+    pub fn render_fault_timeline(&self) -> Vec<String> {
+        let mut rows = vec![
+            "| t (s) | fault | lost (run/queue) | re-admitted | failed | recovery (ms) |"
+                .to_string(),
+            "|---|---|---|---|---|---|".to_string(),
+        ];
+        for f in &self.faults {
+            let what = match &f.kind {
+                FaultKind::ReplicaCrash { replica } => format!("crash replica {replica}"),
+                FaultKind::LinkDegrade { replica, .. } => {
+                    format!("link degrade replica {replica}")
+                }
+                FaultKind::IslandPartition {
+                    island, replicas, ..
+                } => format!("partition island {island} ({} replicas)", replicas.len()),
+            };
+            rows.push(format!(
+                "| {:.2} | {} | {}/{} | {} | {} | {} |",
+                f.at_ms / 1e3,
+                what,
+                f.lost_running,
+                f.lost_queued,
+                f.readmitted,
+                f.failed,
+                f.recovery_ms()
+                    .map_or_else(|| "-".to_string(), |ms| format!("{ms:.0}")),
+            ));
+        }
+        rows
+    }
+
+    /// One-line drain status for reports: which replicas were still busy
+    /// when the drain cap hit, not just that something was.
+    pub fn drain_status(&self) -> String {
+        if !self.drain_incomplete {
+            return "drained".to_string();
+        }
+        let stuck: Vec<String> = self
+            .drain_incomplete_replicas
+            .iter()
+            .map(|i| i.to_string())
+            .collect();
+        format!(
+            "drain incomplete: replicas [{}] still held work at the cap",
+            stuck.join(", ")
+        )
+    }
 }
 
 /// A factory for scale-out replicas.
@@ -393,6 +461,12 @@ struct Slot {
     warming: bool,
     draining: bool,
     retired_ms: Option<f64>,
+    /// Killed by an injected [`FaultKind::ReplicaCrash`]: retired instantly
+    /// with its in-flight work ripped out, never to return.
+    crashed: bool,
+    /// Count of active link degradations (a degrade and an island partition
+    /// can overlap): the dispatcher routes nothing here while it is > 0.
+    degraded: u32,
     assigned_ids: Vec<u64>,
     /// Cumulative assigned tokens — the frozen dispatch counter, kept so the
     /// pre-redesign policy stays reachable online too.
@@ -416,6 +490,8 @@ impl Slot {
             warming,
             draining: false,
             retired_ms: None,
+            crashed: false,
+            degraded: 0,
             assigned_ids: Vec::new(),
             assigned_tokens: 0,
         }
@@ -427,9 +503,9 @@ impl Slot {
         !self.draining && self.retired_ms.is_none()
     }
 
-    /// Routable: commissioned and past its warm-up.
+    /// Routable: commissioned, past its warm-up, and its link is healthy.
     fn routable(&self) -> bool {
-        self.commissioned() && !self.warming
+        self.commissioned() && !self.warming && self.degraded == 0
     }
 }
 
@@ -469,6 +545,8 @@ pub struct FleetController {
     factory: Option<ReplicaFactory>,
     autoscaler: Box<dyn AutoscalePolicy>,
     sink: Option<SharedSink>,
+    faults: FaultSchedule,
+    recovery: RecoveryPolicy,
 }
 
 impl FleetController {
@@ -481,6 +559,8 @@ impl FleetController {
             factory: None,
             autoscaler: Box::new(NoAutoscale),
             sink: None,
+            faults: FaultSchedule::none(),
+            recovery: RecoveryPolicy::default(),
         }
     }
 
@@ -514,6 +594,17 @@ impl FleetController {
     /// Install the autoscale policy (default: [`NoAutoscale`]).
     pub fn with_autoscaler(mut self, policy: impl AutoscalePolicy + 'static) -> Self {
         self.autoscaler = Box::new(policy);
+        self
+    }
+
+    /// Install a fault schedule and the recovery policy that reacts to it.
+    /// The schedule is resolved once at run start and injected through the
+    /// event queue, so the run stays fully deterministic; an empty schedule
+    /// leaves the controller bit-for-bit identical to one without fault
+    /// injection (pinned by the `fault_equivalence` suite).
+    pub fn with_faults(mut self, schedule: FaultSchedule, recovery: RecoveryPolicy) -> Self {
+        self.faults = schedule;
+        self.recovery = recovery;
         self
     }
 
@@ -574,11 +665,13 @@ impl FleetController {
         }
         let mut events: Vec<ScaleEvent> = Vec::new();
         let mut unroutable: Vec<u64> = Vec::new();
+        let mut failed_ids: Vec<u64> = Vec::new();
         let mut peak_replicas = slots.len();
         let mut rr_cursor = 0usize;
         let mut next_arrival = 0usize;
         let mut drain_ticks = 0usize;
         let mut drain_incomplete = false;
+        let mut drain_incomplete_replicas: Vec<usize> = Vec::new();
 
         let ticks = self.autoscaler.consults_ticks();
         let mut queue = EventQueue::new();
@@ -587,6 +680,39 @@ impl FleetController {
         }
         if ticks {
             queue.push(self.config.tick_ms, FleetEvent::ControlTick { index: 1 });
+        }
+
+        // Resolve the fault schedule once (deterministic) and inject every
+        // fault as an ordinary event. An empty schedule pushes nothing: the
+        // event stream — and therefore the whole run — is exactly the
+        // no-fault-injection stream.
+        let fault_specs: Vec<FaultSpec> = self.faults.resolve(slots.len());
+        let mut fault_records: Vec<FaultRecord> = fault_specs
+            .iter()
+            .map(|spec| FaultRecord {
+                at_ms: spec.at_ms,
+                kind: spec.kind.clone(),
+                lost_queued: 0,
+                lost_running: 0,
+                readmitted: 0,
+                failed: 0,
+                replacement: None,
+                recovered_at_ms: None,
+            })
+            .collect();
+        // Per-fault re-admission buffer (crashes) and the slots a fault
+        // actually degraded (degrades/partitions), so its recovery restores
+        // exactly what it broke — overlapping degradations are counted, not
+        // clobbered.
+        let mut readmit_buffers: Vec<Vec<Request>> = vec![Vec::new(); fault_specs.len()];
+        let mut degraded_sets: Vec<Vec<usize>> = vec![Vec::new(); fault_specs.len()];
+        // Crash recoveries still in flight: the tick schedule must outlive
+        // them, or buffered requests re-admitted after the fleet drained
+        // would never be driven (and would vanish from the conservation
+        // ledger). Zero on the no-faults path, where the condition is inert.
+        let mut pending_readmissions = 0usize;
+        for (index, spec) in fault_specs.iter().enumerate() {
+            queue.push(spec.at_ms, FleetEvent::Fault { index });
         }
 
         let mut eligible: Vec<usize> = Vec::new();
@@ -617,13 +743,241 @@ impl FleetController {
                         }
                     }
                 }
+                FleetEvent::Fault { index } => {
+                    let kind = fault_specs[index].kind.clone();
+                    match kind {
+                        FaultKind::ReplicaCrash { replica } => {
+                            if replica >= slots.len() || slots[replica].retired_ms.is_some() {
+                                // Crashing a replica that never existed or
+                                // already left the fleet is a no-op.
+                                continue;
+                            }
+                            // Work the replica finished before the crash
+                            // survives; everything in flight is ripped out.
+                            slots[replica].driver.advance_to(at);
+                            let (running, queued) = slots[replica].driver.take_inflight();
+                            slots[replica].crashed = true;
+                            slots[replica].retired_ms = Some(at);
+                            let record = &mut fault_records[index];
+                            record.lost_running = running.len();
+                            record.lost_queued = queued.len();
+                            if let Some(sink) = &self.sink {
+                                sink.emit(TraceEvent::ReplicaCrashed {
+                                    replica,
+                                    at_ms: at,
+                                    lost_running: running.len(),
+                                    lost_queued: queued.len(),
+                                });
+                            }
+                            let lost: Vec<Request> = running.into_iter().chain(queued).collect();
+                            if self.recovery.readmit {
+                                // Survivors take over once the weight
+                                // transfer lands; the recovery event routes
+                                // the buffered requests.
+                                readmit_buffers[index] = lost;
+                                pending_readmissions += 1;
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::RecoveryStarted {
+                                        replica,
+                                        at_ms: at,
+                                        transfer_ms: self.recovery.transfer_ms,
+                                    });
+                                }
+                                queue.push(
+                                    at + self.recovery.transfer_ms,
+                                    FleetEvent::FaultRecovery { index },
+                                );
+                            } else {
+                                record.failed = lost.len();
+                                failed_ids.extend(lost.iter().map(|r| r.id));
+                            }
+                            if self.recovery.replace {
+                                if let Some(factory) = &self.factory {
+                                    let commissioned =
+                                        slots.iter().filter(|s| s.commissioned()).count();
+                                    if commissioned < self.config.max_replicas {
+                                        // Cold replacement through the normal
+                                        // warm-up path, plus the weight
+                                        // transfer on top.
+                                        let ready =
+                                            at + self.config.warmup_ms + self.recovery.transfer_ms;
+                                        let mut slot = Slot::new(factory(), scfg, at, ready, true);
+                                        if let Some(sink) = &self.sink {
+                                            slot.driver.attach_sink(sink.clone(), slots.len());
+                                            sink.emit(TraceEvent::ReplicaCommissioned {
+                                                replica: slots.len(),
+                                                at_ms: at,
+                                                ready_ms: ready,
+                                            });
+                                        }
+                                        slots.push(slot);
+                                        queue.push(
+                                            ready,
+                                            FleetEvent::WarmupComplete {
+                                                slot: slots.len() - 1,
+                                            },
+                                        );
+                                        let record = &mut fault_records[index];
+                                        record.replacement = Some(slots.len() - 1);
+                                        record.recovered_at_ms = Some(ready);
+                                        peak_replicas = peak_replicas
+                                            .max(slots.iter().filter(|s| s.commissioned()).count());
+                                    }
+                                }
+                            }
+                        }
+                        FaultKind::LinkDegrade {
+                            replica,
+                            duration_ms,
+                        } => {
+                            if replica < slots.len() && slots[replica].retired_ms.is_none() {
+                                slots[replica].degraded += 1;
+                                degraded_sets[index].push(replica);
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::LinkDegraded {
+                                        replica,
+                                        at_ms: at,
+                                        until_ms: at + duration_ms,
+                                    });
+                                }
+                                queue.push(at + duration_ms, FleetEvent::FaultRecovery { index });
+                            }
+                        }
+                        FaultKind::IslandPartition {
+                            island,
+                            replicas,
+                            duration_ms,
+                        } => {
+                            for &replica in &replicas {
+                                if replica < slots.len() && slots[replica].retired_ms.is_none() {
+                                    slots[replica].degraded += 1;
+                                    degraded_sets[index].push(replica);
+                                }
+                            }
+                            if !degraded_sets[index].is_empty() {
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::IslandPartitioned {
+                                        island,
+                                        replicas: degraded_sets[index].len(),
+                                        at_ms: at,
+                                        until_ms: at + duration_ms,
+                                    });
+                                }
+                                queue.push(at + duration_ms, FleetEvent::FaultRecovery { index });
+                            }
+                        }
+                    }
+                }
+                FleetEvent::FaultRecovery { index } => match &fault_specs[index].kind {
+                    FaultKind::ReplicaCrash { replica } => {
+                        let lost = std::mem::take(&mut readmit_buffers[index]);
+                        pending_readmissions -= 1;
+                        // Route the buffered requests exactly like fresh
+                        // arrivals at the recovery instant: advance the
+                        // fleet, filter eligibility, apply the dispatch
+                        // policy. The latency clock restarts here — the
+                        // request re-enters the fleet now (which also keeps
+                        // enqueue order nondecreasing on the new replica).
+                        for slot in slots.iter_mut() {
+                            slot.driver.advance_to(at);
+                        }
+                        let mut readmitted = 0usize;
+                        let mut failed = 0usize;
+                        for request in lost {
+                            let moved = Request {
+                                arrival_ms: at,
+                                ..request
+                            };
+                            eligible.clear();
+                            eligible.extend(
+                                slots
+                                    .iter()
+                                    .enumerate()
+                                    .filter(|(_, slot)| {
+                                        slot.routable() && slot.driver.can_ever_admit(&moved)
+                                    })
+                                    .map(|(i, _)| i),
+                            );
+                            match pick_replica(
+                                self.config.policy,
+                                &eligible,
+                                &slots,
+                                &mut rr_cursor,
+                            ) {
+                                Some(target) => {
+                                    if let Some(sink) = &self.sink {
+                                        sink.emit(TraceEvent::Routed {
+                                            id: moved.id,
+                                            replica: target,
+                                            at_ms: at,
+                                        });
+                                    }
+                                    slots[target].driver.enqueue(moved);
+                                    slots[target].assigned_ids.push(moved.id);
+                                    slots[target].assigned_tokens += moved.total_tokens();
+                                    readmitted += 1;
+                                }
+                                None => {
+                                    failed += 1;
+                                    failed_ids.push(moved.id);
+                                }
+                            }
+                        }
+                        let record = &mut fault_records[index];
+                        record.readmitted = readmitted;
+                        record.failed += failed;
+                        record.recovered_at_ms =
+                            Some(record.recovered_at_ms.map_or(at, |r| r.max(at)));
+                        if let Some(sink) = &self.sink {
+                            sink.emit(TraceEvent::RecoveryComplete {
+                                replica: *replica,
+                                at_ms: at,
+                                readmitted,
+                                failed,
+                            });
+                        }
+                        if !ticks && next_arrival >= trace.len() {
+                            // No tick schedule and no arrivals left to
+                            // restart the step chains: re-arm them for every
+                            // replica that now holds work. (A replica with an
+                            // already-live chain just drains through two
+                            // interleaved chains — step_once is state-driven,
+                            // so the duplicate is harmless and deterministic.)
+                            for (i, slot) in slots.iter().enumerate() {
+                                if !slot.driver.is_drained() {
+                                    queue.push(
+                                        slot.driver.clock_ms(),
+                                        FleetEvent::StepCompletion { slot: i },
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    FaultKind::LinkDegrade { .. } | FaultKind::IslandPartition { .. } => {
+                        // Restore exactly the links this fault degraded;
+                        // overlapping degradations keep the slot un-routable
+                        // until the last one clears.
+                        for &replica in &degraded_sets[index] {
+                            slots[replica].degraded = slots[replica].degraded.saturating_sub(1);
+                            if let Some(sink) = &self.sink {
+                                sink.emit(TraceEvent::LinkRestored { replica, at_ms: at });
+                            }
+                        }
+                        if !degraded_sets[index].is_empty() {
+                            fault_records[index].recovered_at_ms = Some(at);
+                        }
+                    }
+                },
                 FleetEvent::ControlTick { index } => {
                     // Derived, never accumulated: tick k is exactly
                     // k * tick_ms, so 10^6 ticks land where tick 10^6
                     // should, not where 10^6 rounded additions drifted to.
                     let t = index as f64 * self.config.tick_ms;
                     let trace_done = next_arrival >= trace.len();
-                    if trace_done && slots.iter().all(|s| s.driver.is_drained()) {
+                    if trace_done
+                        && pending_readmissions == 0
+                        && slots.iter().all(|s| s.driver.is_drained())
+                    {
                         // The legacy drain loop stopped ticking here; drop
                         // the schedule and let remaining events drain.
                         continue;
@@ -645,6 +999,12 @@ impl FleetController {
                             && slots.iter().any(|s| !s.driver.is_drained())
                         {
                             drain_incomplete = true;
+                            drain_incomplete_replicas = slots
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, s)| !s.driver.is_drained())
+                                .map(|(i, _)| i)
+                                .collect();
                             continue; // stop the schedule; degraded metrics
                         }
                     }
@@ -678,22 +1038,10 @@ impl FleetController {
                             })
                             .map(|(i, _)| i),
                     );
-                    let picked = match self.config.policy {
-                        DispatchPolicy::RoundRobin => {
-                            let picked =
-                                eligible.get(rr_cursor.checked_rem(eligible.len()).unwrap_or(0));
-                            rr_cursor = rr_cursor.wrapping_add(1);
-                            picked
-                        }
-                        DispatchPolicy::LeastOutstandingTokens { .. } => eligible
-                            .iter()
-                            .min_by_key(|&&i| slots[i].driver.outstanding_tokens()),
-                        DispatchPolicy::LeastOutstandingTokensFrozen => {
-                            eligible.iter().min_by_key(|&&i| slots[i].assigned_tokens)
-                        }
-                    };
+                    let picked =
+                        pick_replica(self.config.policy, &eligible, &slots, &mut rr_cursor);
                     match picked {
-                        Some(&target) => {
+                        Some(target) => {
                             if let Some(sink) = &self.sink {
                                 sink.emit(TraceEvent::Routed {
                                     id: request.id,
@@ -748,7 +1096,43 @@ impl FleetController {
             }
         }
 
-        finalize(slots, events, unroutable, peak_replicas, drain_incomplete)
+        finalize(
+            slots,
+            events,
+            unroutable,
+            failed_ids,
+            fault_records,
+            peak_replicas,
+            drain_incomplete,
+            drain_incomplete_replicas,
+        )
+    }
+}
+
+/// Apply the dispatch policy to the eligible set — shared between fresh
+/// arrivals and post-crash re-admissions so the two can never drift.
+fn pick_replica(
+    policy: DispatchPolicy,
+    eligible: &[usize],
+    slots: &[Slot],
+    rr_cursor: &mut usize,
+) -> Option<usize> {
+    match policy {
+        DispatchPolicy::RoundRobin => {
+            let picked = eligible
+                .get(rr_cursor.checked_rem(eligible.len()).unwrap_or(0))
+                .copied();
+            *rr_cursor = rr_cursor.wrapping_add(1);
+            picked
+        }
+        DispatchPolicy::LeastOutstandingTokens { .. } => eligible
+            .iter()
+            .min_by_key(|&&i| slots[i].driver.outstanding_tokens())
+            .copied(),
+        DispatchPolicy::LeastOutstandingTokensFrozen => eligible
+            .iter()
+            .min_by_key(|&&i| slots[i].assigned_tokens)
+            .copied(),
     }
 }
 
@@ -1006,13 +1390,18 @@ fn describe_observation(obs: &FleetObservation) -> String {
     )
 }
 
-/// Fold the finished slots, timeline and unroutable set into fleet metrics.
+/// Fold the finished slots, timeline, unroutable set and fault ledger into
+/// fleet metrics.
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     slots: Vec<Slot>,
     scale_events: Vec<ScaleEvent>,
     unroutable_ids: Vec<u64>,
+    failed_ids: Vec<u64>,
+    faults: Vec<FaultRecord>,
     peak_replicas: usize,
     drain_incomplete: bool,
+    drain_incomplete_replicas: Vec<usize>,
 ) -> FleetMetrics {
     let records = slots
         .into_iter()
@@ -1036,13 +1425,17 @@ fn finalize(
             }
         })
         .collect();
-    aggregate(
+    let mut metrics = aggregate(
         peak_replicas,
         records,
         scale_events,
         unroutable_ids,
         drain_incomplete,
-    )
+    );
+    metrics.failed_ids = failed_ids;
+    metrics.faults = faults;
+    metrics.drain_incomplete_replicas = drain_incomplete_replicas;
+    metrics
 }
 
 /// One replica's finished run plus its control-plane bookkeeping — the input
@@ -1115,7 +1508,10 @@ pub(crate) fn aggregate(
         per_replica,
         scale_events,
         unroutable_ids,
+        failed_ids: Vec::new(),
+        faults: Vec::new(),
         drain_incomplete,
+        drain_incomplete_replicas: Vec::new(),
     }
 }
 
@@ -1525,5 +1921,250 @@ mod tests {
         .run(&trace);
         assert!(!full.drain_incomplete);
         assert_eq!(full.completed, 1);
+    }
+
+    #[test]
+    fn drain_cap_names_the_replicas_still_holding_work() {
+        let scfg = SchedulerConfig::default();
+        let trace = vec![Request {
+            id: 0,
+            arrival_ms: 0.0,
+            prompt_len: 2048,
+            output_len: 256,
+        }];
+        let capped = FleetController::new(FleetConfig {
+            tick_ms: 1.0,
+            max_drain_ticks: 3,
+            ..FleetConfig::default()
+        })
+        .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        .with_autoscaler(SloAutoscaler::new(1e12))
+        .run(&trace);
+        assert!(capped.drain_incomplete);
+        // Only the replica that took the heavy request is stuck; the idle
+        // one drained. The status line names it.
+        assert_eq!(capped.drain_incomplete_replicas.len(), 1);
+        let stuck = capped.drain_incomplete_replicas[0];
+        assert_eq!(capped.per_replica[stuck].assigned, 1);
+        assert!(capped.drain_status().contains(&stuck.to_string()));
+        // A clean run reports "drained" and an empty list.
+        let full = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .run(&trace);
+        assert!(full.drain_incomplete_replicas.is_empty());
+        assert_eq!(full.drain_status(), "drained");
+    }
+
+    fn steady_trace(n: u64, rate_rps: f64) -> Vec<Request> {
+        crate::trace::TraceConfig {
+            num_requests: n as usize,
+            arrival_rate_rps: rate_rps,
+            prompt_len_range: (32, 128),
+            output_len_range: (8, 24),
+            seed: 23,
+        }
+        .generate()
+    }
+
+    fn crash_at(at_ms: f64, replica: usize) -> FaultSchedule {
+        FaultSchedule::Scripted(vec![crate::faults::FaultSpec {
+            at_ms,
+            kind: FaultKind::ReplicaCrash { replica },
+        }])
+    }
+
+    #[test]
+    fn crash_with_readmission_loses_nothing() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(30, 20.0);
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(crash_at(500.0, 0), RecoveryPolicy::readmit_after(40.0))
+            .run(&trace);
+        // Conservation with zero losses: everything offered is served.
+        assert_eq!(metrics.completed, 30, "{:?}", metrics.faults);
+        assert_eq!(metrics.rejected, 0);
+        assert_eq!(metrics.failed(), 0);
+        let record = &metrics.faults[0];
+        assert!(
+            record.lost_running + record.lost_queued > 0,
+            "the crash should catch work in flight: {record:?}"
+        );
+        assert_eq!(record.readmitted, record.lost_running + record.lost_queued);
+        assert_eq!(record.recovery_ms(), Some(40.0));
+        // The crashed replica is retired at the fault instant.
+        assert_eq!(metrics.per_replica[0].retired_ms, Some(500.0));
+    }
+
+    #[test]
+    fn fail_fast_crash_fails_in_flight_requests_and_conserves_the_ledger() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(30, 20.0);
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(crash_at(500.0, 0), RecoveryPolicy::fail_fast())
+            .run(&trace);
+        assert!(metrics.failed() > 0, "{:?}", metrics.faults);
+        assert_eq!(metrics.completed + metrics.rejected + metrics.failed(), 30);
+        let record = &metrics.faults[0];
+        assert_eq!(record.failed, metrics.failed());
+        assert_eq!(record.readmitted, 0);
+        assert_eq!(record.recovered_at_ms, None, "fail-fast never recovers");
+        // Every failed request had been routed to the crashed replica.
+        assert_eq!(metrics.failed_ids.len(), metrics.failed());
+        for id in &metrics.failed_ids {
+            assert!(metrics.per_replica[0].assigned_ids.contains(id));
+        }
+    }
+
+    #[test]
+    fn crash_under_ticked_autoscaler_readmits_after_the_fleet_drains() {
+        // Crash the replica holding the *only* remaining work right before
+        // the fleet would otherwise be fully drained: the tick schedule must
+        // outlive the pending re-admission or the buffered requests vanish.
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(12, 40.0);
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_autoscaler(SloAutoscaler::new(1e12))
+            .with_faults(crash_at(250.0, 1), RecoveryPolicy::readmit_after(5_000.0))
+            .run(&trace);
+        assert_eq!(
+            metrics.completed + metrics.rejected + metrics.failed(),
+            12,
+            "{:?}",
+            metrics.faults
+        );
+        assert_eq!(metrics.failed(), 0, "{:?}", metrics.faults);
+        assert_eq!(metrics.completed, 12);
+    }
+
+    #[test]
+    fn crash_with_replacement_commissions_through_the_warmup_path() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(30, 20.0);
+        let config = FleetConfig {
+            warmup_ms: 300.0,
+            ..FleetConfig::default()
+        };
+        let metrics = FleetController::new(config)
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_factory(move || single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(
+                crash_at(500.0, 0),
+                RecoveryPolicy::readmit_and_replace(50.0),
+            )
+            .run(&trace);
+        assert_eq!(metrics.completed, 30);
+        assert_eq!(metrics.failed(), 0);
+        let record = &metrics.faults[0];
+        assert_eq!(record.replacement, Some(2));
+        // Recovery covers both the re-admission transfer and the
+        // replacement's warm-up: spawn + warmup + transfer.
+        assert_eq!(record.recovered_at_ms, Some(500.0 + 300.0 + 50.0));
+        assert_eq!(metrics.per_replica.len(), 3);
+        assert_eq!(metrics.per_replica[2].spawned_ms, 500.0);
+        assert_eq!(metrics.per_replica[2].ready_ms, 850.0);
+    }
+
+    #[test]
+    fn link_degrade_diverts_routing_until_restored() {
+        let scfg = SchedulerConfig::default();
+        // Two requests inside the degrade window, two after it.
+        let mk = |id: u64, arrival_ms: f64| Request {
+            id,
+            arrival_ms,
+            prompt_len: 64,
+            output_len: 8,
+        };
+        let trace = vec![mk(0, 100.0), mk(1, 200.0), mk(2, 2_000.0), mk(3, 2_100.0)];
+        let config = FleetConfig {
+            policy: DispatchPolicy::RoundRobin,
+            ..FleetConfig::default()
+        };
+        let schedule = FaultSchedule::Scripted(vec![crate::faults::FaultSpec {
+            at_ms: 50.0,
+            kind: FaultKind::LinkDegrade {
+                replica: 1,
+                duration_ms: 1_000.0,
+            },
+        }]);
+        let metrics = FleetController::new(config)
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(schedule, RecoveryPolicy::default())
+            .run(&trace);
+        assert_eq!(metrics.completed, 4);
+        // During the window only replica 0 is routable; after restoration
+        // round-robin reaches replica 1 again.
+        assert_eq!(metrics.per_replica[0].assigned_ids, vec![0, 1, 2]);
+        assert_eq!(metrics.per_replica[1].assigned_ids, vec![3]);
+        assert_eq!(metrics.faults[0].recovery_ms(), Some(1_000.0));
+        assert_eq!(metrics.per_replica[1].retired_ms, None);
+    }
+
+    #[test]
+    fn island_partition_degrades_every_listed_replica_at_once() {
+        let scfg = SchedulerConfig::default();
+        let mk = |id: u64, arrival_ms: f64| Request {
+            id,
+            arrival_ms,
+            prompt_len: 64,
+            output_len: 8,
+        };
+        let trace = vec![mk(0, 100.0), mk(1, 150.0), mk(2, 3_000.0)];
+        let schedule = FaultSchedule::Scripted(vec![crate::faults::FaultSpec {
+            at_ms: 50.0,
+            kind: FaultKind::IslandPartition {
+                island: 1,
+                replicas: vec![1, 2],
+                duration_ms: 1_000.0,
+            },
+        }]);
+        let config = FleetConfig {
+            policy: DispatchPolicy::RoundRobin,
+            ..FleetConfig::default()
+        };
+        let metrics = FleetController::new(config)
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(schedule, RecoveryPolicy::default())
+            .run(&trace);
+        assert_eq!(metrics.completed, 3);
+        // Both partitioned replicas take nothing during the window; the
+        // late request lands on a restored replica via round-robin.
+        assert_eq!(metrics.per_replica[0].assigned_ids, vec![0, 1]);
+        assert_eq!(
+            metrics.per_replica[1].assigned + metrics.per_replica[2].assigned,
+            1
+        );
+        assert_eq!(metrics.faults[0].recovery_ms(), Some(1_000.0));
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_inert() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(20, 15.0);
+        let plain = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .run(&trace);
+        let with_faults = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_faults(FaultSchedule::none(), RecoveryPolicy::default())
+            .run(&trace);
+        // The full bit-for-bit pin lives in the `fault_equivalence` suite;
+        // this is the smoke check.
+        assert_eq!(plain.completed, with_faults.completed);
+        assert_eq!(plain.makespan_ms, with_faults.makespan_ms);
+        assert!(with_faults.faults.is_empty());
+        assert!(with_faults.failed_ids.is_empty());
     }
 }

@@ -24,6 +24,9 @@
 //!   markdown;
 //! * [`events`] — the deterministic event queue (next-event time advance)
 //!   the fleet control plane runs on;
+//! * [`faults`] — deterministic fault injection (replica crashes, link
+//!   degradations, island partitions) and the recovery policy the fleet
+//!   controller applies when they fire;
 //! * [`telemetry`] — structured request/replica lifecycle tracing behind the
 //!   [`TraceSink`] trait: an allocation-free default, a metrics registry
 //!   with log-linear histograms, a Chrome trace-event exporter and
@@ -53,6 +56,7 @@ pub mod backend;
 pub mod batch;
 pub mod dispatch;
 pub mod events;
+pub mod faults;
 pub mod fleet;
 pub mod memory;
 pub mod metrics;
@@ -68,6 +72,7 @@ pub use backend::{
 pub use batch::BatchLimits;
 pub use dispatch::{dispatch_trace, DispatchPolicy, ReplicaFleet};
 pub use events::{EventQueue, FleetEvent};
+pub use faults::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, RecoveryPolicy, SeededFaults};
 pub use fleet::{
     AutoscalePolicy, FleetConfig, FleetController, FleetMetrics, FleetObservation, NoAutoscale,
     ReplicaBreakdown, ScaleDecision, ScaleEvent, ScaleKind, SloAutoscaler,

@@ -627,6 +627,21 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         );
     }
 
+    /// Rip every in-flight request out of the replica, as on a GPU crash:
+    /// returns `(running, queued)` — the admitted mid-generation set (in
+    /// admission order) and the not-yet-admitted queue (in arrival order) —
+    /// and leaves the replica drained with zero outstanding work and zero
+    /// KV reservations. Partial prefill/decode progress is lost; a
+    /// re-admitted request starts from scratch on its new replica. Already
+    /// completed and rejected requests are unaffected.
+    pub fn take_inflight(&mut self) -> (Vec<Request>, Vec<Request>) {
+        let running: Vec<Request> = self.running.drain(..).map(|r| r.request).collect();
+        let queued: Vec<Request> = self.queue.drain(..).collect();
+        self.reserved_tokens = 0;
+        self.outstanding = 0;
+        (running, queued)
+    }
+
     /// Close out the run and return the full simulation record.
     pub fn finish(mut self) -> SimulationResult {
         self.result.makespan_ms = self.clock_ms;
@@ -707,6 +722,37 @@ mod tests {
         assert_eq!(d.outstanding_tokens(), 0);
         let result = d.finish();
         assert_eq!(result.rejected.len(), 1);
+    }
+
+    #[test]
+    fn take_inflight_extracts_everything_and_leaves_the_replica_drained() {
+        let trace = TraceConfig {
+            num_requests: 16,
+            arrival_rate_rps: 40.0,
+            prompt_len_range: (32, 128),
+            output_len_range: (8, 24),
+            seed: 11,
+        }
+        .generate();
+        let mut d = driver();
+        for request in &trace {
+            d.enqueue(*request);
+        }
+        // Advance partway: some completed, some running, some queued.
+        d.advance_to(trace[trace.len() / 2].arrival_ms);
+        let completed_before = d.completed().len();
+        let (running, queued) = d.take_inflight();
+        assert_eq!(
+            completed_before + running.len() + queued.len(),
+            trace.len(),
+            "every request is completed, running or queued at the crash"
+        );
+        assert!(d.is_drained());
+        assert_eq!(d.outstanding_tokens(), 0);
+        assert!(!d.step_once(), "a crashed-out replica has no work left");
+        let result = d.finish();
+        assert_eq!(result.completed.len(), completed_before);
+        assert!(result.rejected.is_empty());
     }
 
     #[test]

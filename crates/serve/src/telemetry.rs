@@ -195,6 +195,67 @@ pub enum TraceEvent {
         /// Commissioned replicas after the event.
         replicas_after: usize,
     },
+    /// An injected fault crashed a replica (see `serve::faults`).
+    ReplicaCrashed {
+        /// The crashed slot index.
+        replica: usize,
+        /// Crash time.
+        at_ms: f64,
+        /// Requests mid-execution when the replica died.
+        lost_running: usize,
+        /// Requests still queued when the replica died.
+        lost_queued: usize,
+    },
+    /// An injected fault degraded a replica's link: the replica keeps its
+    /// in-flight work but takes no new traffic until restored.
+    LinkDegraded {
+        /// The degraded slot index.
+        replica: usize,
+        /// Degradation start time.
+        at_ms: f64,
+        /// When the link restores.
+        until_ms: f64,
+    },
+    /// An injected fault partitioned an island: every replica on it is
+    /// link-degraded at once.
+    IslandPartitioned {
+        /// The partitioned island index.
+        island: usize,
+        /// Number of replicas caught in the partition.
+        replicas: usize,
+        /// Partition start time.
+        at_ms: f64,
+        /// When the partition heals.
+        until_ms: f64,
+    },
+    /// A degraded link (or a partitioned island's member) restored.
+    LinkRestored {
+        /// The restored slot index.
+        replica: usize,
+        /// Restoration time.
+        at_ms: f64,
+    },
+    /// Recovery from a crash began: lost requests are buffered while expert
+    /// weights transfer from survivors.
+    RecoveryStarted {
+        /// The crashed slot index.
+        replica: usize,
+        /// Recovery start time (the crash instant).
+        at_ms: f64,
+        /// Modelled weight-transfer time before re-admission.
+        transfer_ms: f64,
+    },
+    /// Recovery from a crash completed: buffered requests were re-routed.
+    RecoveryComplete {
+        /// The crashed slot index.
+        replica: usize,
+        /// Recovery completion time.
+        at_ms: f64,
+        /// Requests successfully re-admitted to survivors.
+        readmitted: usize,
+        /// Requests no survivor could ever admit.
+        failed: usize,
+    },
 }
 
 impl TraceEvent {
@@ -213,7 +274,13 @@ impl TraceEvent {
             | TraceEvent::Retired { at_ms, .. }
             | TraceEvent::ControlTick { at_ms, .. }
             | TraceEvent::ScaleOut { at_ms, .. }
-            | TraceEvent::ScaleIn { at_ms, .. } => at_ms,
+            | TraceEvent::ScaleIn { at_ms, .. }
+            | TraceEvent::ReplicaCrashed { at_ms, .. }
+            | TraceEvent::LinkDegraded { at_ms, .. }
+            | TraceEvent::IslandPartitioned { at_ms, .. }
+            | TraceEvent::LinkRestored { at_ms, .. }
+            | TraceEvent::RecoveryStarted { at_ms, .. }
+            | TraceEvent::RecoveryComplete { at_ms, .. } => at_ms,
             TraceEvent::Step { start_ms, .. } => start_ms,
             TraceEvent::Completed { finished_ms, .. } => finished_ms,
         }
@@ -231,7 +298,12 @@ impl TraceEvent {
             | TraceEvent::ReplicaCommissioned { replica, .. }
             | TraceEvent::WarmupComplete { replica, .. }
             | TraceEvent::DrainStarted { replica, .. }
-            | TraceEvent::Retired { replica, .. } => Some(replica),
+            | TraceEvent::Retired { replica, .. }
+            | TraceEvent::ReplicaCrashed { replica, .. }
+            | TraceEvent::LinkDegraded { replica, .. }
+            | TraceEvent::LinkRestored { replica, .. }
+            | TraceEvent::RecoveryStarted { replica, .. }
+            | TraceEvent::RecoveryComplete { replica, .. } => Some(replica),
             _ => None,
         }
     }
@@ -605,6 +677,18 @@ pub struct MetricsRegistry {
     pub scale_ins: u64,
     /// Replica retirements.
     pub retirements: u64,
+    /// Injected replica crashes.
+    pub crashes: u64,
+    /// Injected link degradations.
+    pub link_degrades: u64,
+    /// Injected island partitions.
+    pub island_partitions: u64,
+    /// Completed crash recoveries.
+    pub recoveries: u64,
+    /// Requests re-admitted to survivors after crashes.
+    pub readmitted: u64,
+    /// Requests failed by crashes (fail-fast, or unroutable on recovery).
+    pub failed_requests: u64,
     /// Step duration distribution, ms.
     pub step_ms: LogLinearHistogram,
     /// Step collective-time distribution, ms.
@@ -648,6 +732,12 @@ impl MetricsRegistry {
             ("scale_outs", self.scale_outs),
             ("scale_ins", self.scale_ins),
             ("retirements", self.retirements),
+            ("crashes", self.crashes),
+            ("link_degrades", self.link_degrades),
+            ("island_partitions", self.island_partitions),
+            ("recoveries", self.recoveries),
+            ("readmitted", self.readmitted),
+            ("failed_requests", self.failed_requests),
         ]
     }
 }
@@ -735,7 +825,20 @@ impl TraceSink for MetricsRegistry {
                 // before it executes its first step.
                 let _ = self.accum(replica);
             }
-            TraceEvent::WarmupComplete { .. } | TraceEvent::DrainStarted { .. } => {}
+            TraceEvent::ReplicaCrashed { .. } => self.crashes += 1,
+            TraceEvent::LinkDegraded { .. } => self.link_degrades += 1,
+            TraceEvent::IslandPartitioned { .. } => self.island_partitions += 1,
+            TraceEvent::RecoveryComplete {
+                readmitted, failed, ..
+            } => {
+                self.recoveries += 1;
+                self.readmitted += readmitted as u64;
+                self.failed_requests += failed as u64;
+            }
+            TraceEvent::WarmupComplete { .. }
+            | TraceEvent::DrainStarted { .. }
+            | TraceEvent::LinkRestored { .. }
+            | TraceEvent::RecoveryStarted { .. } => {}
         }
     }
 }
@@ -1058,6 +1161,65 @@ pub fn chrome_trace_json(events: &[TraceEvent], replica_names: &[String]) -> Str
                 at_ms,
                 format!("\"replicas_after\":{replicas_after}"),
             )),
+            TraceEvent::ReplicaCrashed {
+                replica,
+                at_ms,
+                lost_running,
+                lost_queued,
+            } => rows.push(instant(
+                "replica crashed",
+                replica + 1,
+                at_ms,
+                format!("\"lost_running\":{lost_running},\"lost_queued\":{lost_queued}"),
+            )),
+            TraceEvent::LinkDegraded {
+                replica,
+                at_ms,
+                until_ms,
+            } => rows.push(instant(
+                "link degraded",
+                replica + 1,
+                at_ms,
+                format!("\"until_ms\":{}", json_num(until_ms)),
+            )),
+            TraceEvent::IslandPartitioned {
+                island,
+                replicas,
+                at_ms,
+                until_ms,
+            } => rows.push(instant(
+                "island partitioned",
+                0,
+                at_ms,
+                format!(
+                    "\"island\":{island},\"replicas\":{replicas},\"until_ms\":{}",
+                    json_num(until_ms)
+                ),
+            )),
+            TraceEvent::LinkRestored { replica, at_ms } => {
+                rows.push(instant("link restored", replica + 1, at_ms, String::new()));
+            }
+            TraceEvent::RecoveryStarted {
+                replica,
+                at_ms,
+                transfer_ms,
+            } => rows.push(instant(
+                "recovery started",
+                replica + 1,
+                at_ms,
+                format!("\"transfer_ms\":{}", json_num(transfer_ms)),
+            )),
+            TraceEvent::RecoveryComplete {
+                replica,
+                at_ms,
+                readmitted,
+                failed,
+            } => rows.push(instant(
+                "recovery complete",
+                replica + 1,
+                at_ms,
+                format!("\"readmitted\":{readmitted},\"failed\":{failed}"),
+            )),
             // Routing, completion and tick gauges stay out of the visual
             // trace: routing duplicates admission, completions duplicate the
             // final step span, and tick gauges belong to the registry's time
@@ -1319,5 +1481,71 @@ mod tests {
         // Names beyond the provided list fall back to `replica N`.
         let fallback = chrome_trace_json(&[step(2, 0.0)], &[]);
         assert!(fallback.contains("replica 2"));
+    }
+
+    #[test]
+    fn fault_events_count_in_the_registry_and_export_as_instants() {
+        let events = vec![
+            TraceEvent::ReplicaCrashed {
+                replica: 0,
+                at_ms: 500.0,
+                lost_running: 2,
+                lost_queued: 3,
+            },
+            TraceEvent::RecoveryStarted {
+                replica: 0,
+                at_ms: 500.0,
+                transfer_ms: 40.0,
+            },
+            TraceEvent::LinkDegraded {
+                replica: 1,
+                at_ms: 600.0,
+                until_ms: 1_100.0,
+            },
+            TraceEvent::IslandPartitioned {
+                island: 1,
+                replicas: 2,
+                at_ms: 700.0,
+                until_ms: 900.0,
+            },
+            TraceEvent::LinkRestored {
+                replica: 1,
+                at_ms: 1_100.0,
+            },
+            TraceEvent::RecoveryComplete {
+                replica: 0,
+                at_ms: 540.0,
+                readmitted: 4,
+                failed: 1,
+            },
+        ];
+        let mut reg = MetricsRegistry::new();
+        for e in &events {
+            reg.record(*e);
+        }
+        assert_eq!(reg.crashes, 1);
+        assert_eq!(reg.link_degrades, 1);
+        assert_eq!(reg.island_partitions, 1);
+        assert_eq!(reg.recoveries, 1);
+        assert_eq!(reg.readmitted, 4);
+        assert_eq!(reg.failed_requests, 1);
+        let counters = reg.counters();
+        assert!(counters.contains(&("crashes", 1)));
+        assert!(counters.contains(&("recoveries", 1)));
+        // Every fault event carries a timestamp and (except the island
+        // partition) a replica.
+        assert_eq!(events[0].at_ms(), 500.0);
+        assert_eq!(events[0].replica(), Some(0));
+        assert_eq!(events[3].replica(), None);
+        let json = chrome_trace_json(&events, &[]);
+        assert!(json.contains("\"replica crashed\""));
+        assert!(json.contains("\"lost_running\":2"));
+        assert!(json.contains("\"recovery started\""));
+        assert!(json.contains("\"link degraded\""));
+        assert!(json.contains("\"island partitioned\""));
+        assert!(json.contains("\"link restored\""));
+        assert!(json.contains("\"recovery complete\""));
+        assert!(json.contains("\"readmitted\":4"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

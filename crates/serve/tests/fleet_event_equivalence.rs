@@ -390,7 +390,10 @@ mod legacy {
             per_replica,
             scale_events,
             unroutable_ids,
+            failed_ids: Vec::new(),
+            faults: Vec::new(),
             drain_incomplete: false,
+            drain_incomplete_replicas: Vec::new(),
         }
     }
 }

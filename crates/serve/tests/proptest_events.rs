@@ -9,26 +9,32 @@ use proptest::prelude::*;
 use samoyeds_serve::{EventQueue, FleetEvent};
 
 /// The public ordering class (mirrors the queue's internal tie-break: see
-/// `FleetEvent::class` — warm-ups, then retirements, then ticks, then
-/// arrivals, then step completions).
+/// `FleetEvent::class` — warm-ups, then retirements, then faults and their
+/// recoveries, then ticks, then arrivals, then step completions).
 fn class(event: &FleetEvent) -> u8 {
     match event {
         FleetEvent::WarmupComplete { .. } => 0,
         FleetEvent::DrainRetire { .. } => 1,
-        FleetEvent::ControlTick { .. } => 2,
-        FleetEvent::Arrival { .. } => 3,
-        FleetEvent::StepCompletion { .. } => 4,
+        FleetEvent::Fault { .. } => 2,
+        FleetEvent::FaultRecovery { .. } => 3,
+        FleetEvent::ControlTick { .. } => 4,
+        FleetEvent::Arrival { .. } => 5,
+        FleetEvent::StepCompletion { .. } => 6,
     }
 }
 
+const NUM_CLASSES: u8 = 7;
+
 fn arb_event() -> impl Strategy<Value = FleetEvent> {
-    (0u8..5, 0usize..64).prop_map(|(kind, idx)| match kind {
+    (0u8..NUM_CLASSES, 0usize..64).prop_map(|(kind, idx)| match kind {
         0 => FleetEvent::WarmupComplete { slot: idx % 8 },
         1 => FleetEvent::DrainRetire { slot: idx % 8 },
-        2 => FleetEvent::ControlTick {
+        2 => FleetEvent::Fault { index: idx % 8 },
+        3 => FleetEvent::FaultRecovery { index: idx % 8 },
+        4 => FleetEvent::ControlTick {
             index: 1 + (idx as u64) % 16,
         },
-        3 => FleetEvent::Arrival { index: idx },
+        5 => FleetEvent::Arrival { index: idx },
         _ => FleetEvent::StepCompletion { slot: idx % 8 },
     })
 }
@@ -72,7 +78,7 @@ proptest! {
         // the pushed subsequence, element for element.
         for t in 0u8..4 {
             let at_ms = t as f64 * 0.5;
-            for c in 0u8..5 {
+            for c in 0u8..NUM_CLASSES {
                 let pushed: Vec<FleetEvent> = pushes
                     .iter()
                     .filter(|(pt, e)| *pt == t && class(e) == c)
