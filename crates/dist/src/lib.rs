@@ -33,7 +33,10 @@
 //!   collectives per step, admission against the straggler GPU's budget);
 //! * [`report`] — dense vs VENOM vs Samoyeds GPU-count sweeps, fleet
 //!   sizing, placement comparisons and the cluster-serving sweep as
-//!   markdown.
+//!   markdown;
+//! * [`validate`] — static checks that need both a fault schedule and the
+//!   topology it targets (single-island partitions, out-of-range islands),
+//!   on the shared `samoyeds_serve::validate` diagnostic engine.
 //!
 //! ```
 //! use samoyeds_dist::{ClusterConfig, ClusterEngine, ClusterSimulator};
@@ -61,6 +64,7 @@ pub mod link;
 pub mod placement;
 pub mod report;
 pub mod topology;
+pub mod validate;
 
 pub use backend::{ClusterAdmissionBudget, ClusterBackend};
 pub use cluster::{min_gpus_to_fit, ClusterConfig, ClusterSimulator, ClusterStepReport};
@@ -76,3 +80,4 @@ pub use report::{
     TopologySweepOutcome, TopologySweepReport,
 };
 pub use topology::{ClusterTopology, FlowMatrix, HierarchicalCost, Island, PairOverride};
+pub use validate::validate_fault_schedule;

@@ -27,6 +27,7 @@ use samoyeds_kernels::samoyeds_kernel::SamoyedsOptions;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::{Engine, EngineKind};
 use samoyeds_serve::MemoryModel as ServeMemoryModel;
+use samoyeds_serve::{Diagnostic, ValidationReport};
 use samoyeds_sparse::venom::VenomConfig;
 use samoyeds_sparse::{Result, SparseError};
 use serde::{Deserialize, Serialize};
@@ -467,6 +468,8 @@ impl ExpertPlacement {
     pub fn imbalance(&self, loads: &[usize]) -> f64 {
         let effective = self.effective_gpu_loads(loads);
         let total: f64 = effective.iter().sum();
+        // simlint::allow(float-eq): division guard — a sum of non-negative
+        // loads is exactly 0.0 only when every load is zero
         if total == 0.0 {
             return 1.0;
         }
@@ -482,25 +485,52 @@ impl ExpertPlacement {
             .collect()
     }
 
-    /// Check every GPU against its memory budget.
+    /// Check every GPU against its memory budget, reporting *every*
+    /// over-budget GPU (code `placement::over-budget`) instead of stopping
+    /// at the first — the diagnostic form of [`Self::validate`].
+    pub fn validate_diagnostics(
+        &self,
+        memory: &ClusterMemoryModel,
+        resident_tokens: usize,
+        step_tokens: usize,
+    ) -> ValidationReport {
+        let mut report = ValidationReport::new();
+        for (g, owned) in self.gpu_experts.iter().enumerate() {
+            if !memory.fits(owned.len(), resident_tokens, step_tokens) {
+                report.push(Diagnostic::deny(
+                    "placement::over-budget",
+                    format!("ExpertPlacement gpu[{g}]"),
+                    format!(
+                        "GPU {g} exceeds its memory budget: {} experts need {:.2} GiB of {:.2} GiB",
+                        owned.len(),
+                        memory.gpu_bytes(owned.len(), resident_tokens, step_tokens)
+                            / (1u64 << 30) as f64,
+                        memory.budget_bytes() / (1u64 << 30) as f64,
+                    ),
+                    "spread experts across more GPUs, compress the weights, or shrink the \
+                     resident token pool",
+                ));
+            }
+        }
+        report
+    }
+
+    /// Check every GPU against its memory budget, failing on the first
+    /// over-budget GPU. Use [`Self::validate_diagnostics`] to see them all.
     pub fn validate(
         &self,
         memory: &ClusterMemoryModel,
         resident_tokens: usize,
         step_tokens: usize,
     ) -> Result<()> {
-        for (g, owned) in self.gpu_experts.iter().enumerate() {
-            if !memory.fits(owned.len(), resident_tokens, step_tokens) {
-                return Err(SparseError::config(format!(
-                    "GPU {g} exceeds its memory budget: {} experts need {:.2} GiB of {:.2} GiB",
-                    owned.len(),
-                    memory.gpu_bytes(owned.len(), resident_tokens, step_tokens)
-                        / (1u64 << 30) as f64,
-                    memory.budget_bytes() / (1u64 << 30) as f64,
-                )));
-            }
+        match self
+            .validate_diagnostics(memory, resident_tokens, step_tokens)
+            .diagnostics()
+            .first()
+        {
+            Some(d) => Err(SparseError::config(d.message.clone())),
+            None => Ok(()),
         }
-        Ok(())
     }
 }
 

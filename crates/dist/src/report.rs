@@ -1069,6 +1069,12 @@ impl FaultSweepReport {
         let transfer_ms = plan.transfer_ms();
         let transfer_bytes = plan.transfer_bytes;
 
+        // Static gate: reject an ill-formed schedule once, before the first
+        // of the three policy runs — not mid-sweep. Pure analysis; a passing
+        // schedule leaves every run bit-for-bit unchanged.
+        crate::validate::validate_fault_schedule(&Self::schedule(fault_at_ms), &topology, 3)
+            .assert_valid();
+
         let policies: [(&'static str, RecoveryPolicy); 3] = [
             ("fail-fast", RecoveryPolicy::fail_fast()),
             ("re-admit", RecoveryPolicy::readmit_after(transfer_ms)),
@@ -1369,6 +1375,8 @@ mod tests {
             .iter()
             .find(|e| {
                 e.fleet == FleetKind::Mixed
+                    // simlint::allow(float-eq): selects the sweep cell built
+                    // from this exact literal — no arithmetic in between
                     && e.slo_ms == 400.0
                     && matches!(e.policy, DispatchPolicy::LeastOutstandingTokens { .. })
             })

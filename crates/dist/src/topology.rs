@@ -32,6 +32,7 @@
 
 use crate::link::LinkSpec;
 use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_serve::{Diagnostic, Validate, ValidationReport};
 use samoyeds_sparse::{Result, SparseError};
 use serde::{Deserialize, Serialize};
 
@@ -348,7 +349,63 @@ impl ClusterTopology {
             .find(|o| (o.a == a && o.b == b) || (o.a == b && o.b == a))
             .map(|o| &o.link)
     }
+}
 
+impl Validate for ClusterTopology {
+    /// The diagnostic form of [`ClusterTopology::validate`]: the same
+    /// invariants, but every violation is reported at once instead of
+    /// stopping at the first. Codes: `topology::empty`,
+    /// `topology::override-out-of-range`, `topology::override-self-link`,
+    /// `topology::override-duplicate`.
+    fn validate_into(&self, report: &mut ValidationReport) {
+        if self.islands.is_empty() || self.num_gpus() == 0 {
+            report.push(Diagnostic::deny(
+                "topology::empty",
+                "ClusterTopology",
+                "topology needs at least one island of at least one GPU",
+                "add an island with gpus >= 1",
+            ));
+            return;
+        }
+        let n = self.num_gpus();
+        for (i, o) in self.pair_overrides.iter().enumerate() {
+            let ctx = format!("pair_overrides[{i}] ({}, {})", o.a, o.b);
+            if o.a >= n || o.b >= n {
+                report.push(Diagnostic::deny(
+                    "topology::override-out-of-range",
+                    ctx.clone(),
+                    format!("endpoint out of range for a {n}-GPU topology"),
+                    "use GPU ids below num_gpus()",
+                ));
+            }
+            if o.a == o.b {
+                report.push(Diagnostic::deny(
+                    "topology::override-self-link",
+                    ctx.clone(),
+                    format!("GPU {} cannot have a dedicated link to itself", o.a),
+                    "use two distinct GPU ids",
+                ));
+            }
+            if self.pair_overrides[..i]
+                .iter()
+                .any(|p| (p.a == o.a && p.b == o.b) || (p.a == o.b && p.b == o.a))
+            {
+                report.push(Diagnostic::deny(
+                    "topology::override-duplicate",
+                    ctx,
+                    format!(
+                        "duplicate pair override for GPUs ({}, {}) — the pair's traffic \
+                         would be charged once per entry",
+                        o.a, o.b
+                    ),
+                    "replace the existing entry instead of stacking a second link",
+                ));
+            }
+        }
+    }
+}
+
+impl ClusterTopology {
     /// Price one all-to-all direction over the per-pair `flows`.
     ///
     /// Phase 1 runs every island's local all-to-all concurrently (cost =

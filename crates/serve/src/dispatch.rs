@@ -317,6 +317,8 @@ mod tests {
         // The static shim reports a fixed fleet: no scaling timeline, every
         // replica ready at time zero.
         assert!(four.scale_events.is_empty());
+        // simlint::allow(float-eq): exact pin — the static shim constructs
+        // every replica with ready_ms = 0.0 literally
         assert!(four.per_replica.iter().all(|r| r.ready_ms == 0.0));
         assert_eq!(
             four.per_replica.iter().map(|r| r.assigned).sum::<usize>(),

@@ -245,9 +245,12 @@ mod tests {
         let mut q = EventQueue::new();
         q.push(10.0, FleetEvent::DrainRetire { slot: 0 });
         q.push(10.0, FleetEvent::Arrival { index: 0 });
+        // simlint::allow(float-eq): exact replay pin — the timestamp is the
+        // literal pushed two lines up, bit-identical by construction
         let retire = q.pop_if(|at, e| at == 10.0 && matches!(e, FleetEvent::DrainRetire { .. }));
         assert_eq!(retire, Some((10.0, FleetEvent::DrainRetire { slot: 0 })));
         // Head is now the arrival: the predicate rejects it, the queue keeps it.
+        // simlint::allow(float-eq): same exact-replay pin as above
         let none = q.pop_if(|at, e| at == 10.0 && matches!(e, FleetEvent::DrainRetire { .. }));
         assert_eq!(none, None);
         assert_eq!(q.len(), 1);

@@ -33,14 +33,16 @@
 //!   million-request trace in seconds. The event loop is pinned bit-for-bit
 //!   against the frozen tick-driven loop in `fleet_event_equivalence.rs`.
 
-use crate::backend::ExecutionBackend;
+use crate::backend::{ExecutionBackend, StepWorkload};
+use crate::batch::StepBatch;
 use crate::dispatch::DispatchPolicy;
 use crate::events::{EventQueue, FleetEvent};
 use crate::faults::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, RecoveryPolicy};
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
-use crate::request::Request;
+use crate::request::{Request, RunningRequest};
 use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
 use crate::telemetry::{SharedSink, TraceEvent};
+use crate::validate::{Diagnostic, ValidationReport};
 use samoyeds_moe::engines::EngineKind;
 use serde::{Deserialize, Serialize};
 
@@ -147,6 +149,15 @@ pub trait AutoscalePolicy {
     fn consults_ticks(&self) -> bool {
         true
     }
+
+    /// The p95 time-to-first-token target the policy enforces, if it has
+    /// one. Static validation ([`FleetController::validate`]) compares it
+    /// against the best TTFT any initial replica could physically achieve
+    /// and rejects targets no fleet size can meet. Policies without an SLO
+    /// (the default) return `None` and skip that check.
+    fn ttft_slo_ms(&self) -> Option<f64> {
+        None
+    }
 }
 
 /// A fixed fleet: never scales.
@@ -252,6 +263,10 @@ impl AutoscalePolicy for SloAutoscaler {
 
     fn name(&self) -> String {
         format!("slo p95-ttft {:.0} ms", self.ttft_slo_ms)
+    }
+
+    fn ttft_slo_ms(&self) -> Option<f64> {
+        Some(self.ttft_slo_ms)
     }
 }
 
@@ -608,6 +623,292 @@ impl FleetController {
         self
     }
 
+    /// Statically validate this controller's configuration against the
+    /// trace it is about to serve, surfacing *every* problem at once.
+    ///
+    /// Pure analysis: nothing is simulated, no state is touched, and a
+    /// configuration that validates cleanly runs bit-for-bit identically to
+    /// one that was never validated. [`Self::run`] calls this first and
+    /// panics (via [`ValidationReport::assert_valid`]) on any deny-severity
+    /// finding; call it yourself to also render the warnings, which `run`
+    /// deliberately does not print.
+    ///
+    /// Deny codes: `fleet::empty`, `fleet::zero-floor`,
+    /// `fleet::ceiling-below-floor`, `fleet::nonpositive-tick`,
+    /// `fleet::nonpositive-window`, `fleet::negative-warmup`,
+    /// `fleet::zero-drain-cap`, `fleet::unsorted-trace`,
+    /// `fault::negative-time`, `fault::replica-out-of-range`,
+    /// `fault::negative-duration`, `slo::nonpositive`,
+    /// `slo::unachievable-ttft`. Warning codes:
+    /// `fleet::no-capable-replica`, `fault::replica-never-commissioned`,
+    /// `fault::empty-partition`, `fault::past-trace-end`.
+    pub fn validate(&self, trace: &[Request]) -> ValidationReport {
+        let mut report = ValidationReport::new();
+        let cfg = &self.config;
+        let ctx = "FleetConfig";
+        if self.initial.is_empty() {
+            report.push(Diagnostic::deny(
+                "fleet::empty",
+                "FleetController",
+                "the initial fleet has no replicas",
+                "add at least one replica with with_replica(...)",
+            ));
+        }
+        if cfg.min_replicas == 0 {
+            report.push(Diagnostic::deny(
+                "fleet::zero-floor",
+                ctx,
+                "min_replicas is 0 — the fleet floor must hold at least one replica",
+                "set min_replicas >= 1",
+            ));
+        }
+        if cfg.max_replicas < cfg.min_replicas {
+            report.push(Diagnostic::deny(
+                "fleet::ceiling-below-floor",
+                ctx,
+                format!(
+                    "max_replicas ({}) is below min_replicas ({}) — the scaling band is empty",
+                    cfg.max_replicas, cfg.min_replicas
+                ),
+                "raise max_replicas or lower min_replicas",
+            ));
+        }
+        if cfg.tick_ms <= 0.0 || cfg.tick_ms.is_nan() {
+            report.push(Diagnostic::deny(
+                "fleet::nonpositive-tick",
+                ctx,
+                format!(
+                    "tick_ms is {} — the control-tick period must be positive",
+                    cfg.tick_ms
+                ),
+                "set tick_ms > 0",
+            ));
+        }
+        if cfg.window_ms <= 0.0 || cfg.window_ms.is_nan() {
+            report.push(Diagnostic::deny(
+                "fleet::nonpositive-window",
+                ctx,
+                format!(
+                    "window_ms is {} — the observation window must be positive",
+                    cfg.window_ms
+                ),
+                "set window_ms > 0",
+            ));
+        }
+        if cfg.warmup_ms < 0.0 || cfg.warmup_ms.is_nan() {
+            report.push(Diagnostic::deny(
+                "fleet::negative-warmup",
+                ctx,
+                format!(
+                    "warmup_ms is {} — warm-up cannot be negative",
+                    cfg.warmup_ms
+                ),
+                "set warmup_ms >= 0",
+            ));
+        }
+        if cfg.max_drain_ticks == 0 {
+            report.push(Diagnostic::deny(
+                "fleet::zero-drain-cap",
+                ctx,
+                "max_drain_ticks is 0 — the post-trace drain could never run a single tick",
+                "set max_drain_ticks >= 1",
+            ));
+        }
+        if let Some(i) = trace.windows(2).position(|w| {
+            w[0].arrival_ms
+                .partial_cmp(&w[1].arrival_ms)
+                .is_none_or(std::cmp::Ordering::is_gt)
+        }) {
+            report.push(Diagnostic::deny(
+                "fleet::unsorted-trace",
+                format!("trace[{}..={}]", i, i + 1),
+                format!(
+                    "arrival {} ms is followed by {} ms — the trace is not sorted by arrival time",
+                    trace[i].arrival_ms,
+                    trace[i + 1].arrival_ms
+                ),
+                "sort the trace by arrival_ms before serving it",
+            ));
+        }
+        let capable =
+            |b: &dyn ExecutionBackend| b.supports(b.model()) && b.memory().can_hold_model();
+        if !self.initial.is_empty() && !self.initial.iter().any(|b| capable(b.as_ref())) {
+            report.push(Diagnostic::warning(
+                "fleet::no-capable-replica",
+                "FleetController",
+                "no initial replica both supports its model and fits its weights — every \
+                 request is unroutable until a scale-out commissions a capable replica",
+                "check the engine/model pairing and memory budgets of the initial fleet",
+            ));
+        }
+
+        // Fault schedule: resolve() is pure and deterministic, so the list
+        // inspected here is exactly the list run() will inject.
+        let trace_end_ms = trace.last().map(|r| r.arrival_ms);
+        let replica_in_range =
+            |replica: usize, fault_ctx: &str, report: &mut ValidationReport| {
+                if replica >= cfg.max_replicas
+                    || (replica >= self.initial.len() && self.factory.is_none())
+                {
+                    report.push(Diagnostic::deny(
+                        "fault::replica-out-of-range",
+                        fault_ctx.to_string(),
+                        format!(
+                        "replica {replica} can never exist: the initial fleet has {} replicas, \
+                         max_replicas is {} and a scale-out factory is {}",
+                        self.initial.len(),
+                        cfg.max_replicas,
+                        if self.factory.is_some() { "installed" } else { "not installed" }
+                    ),
+                        "target a replica slot the fleet can actually commission",
+                    ));
+                } else if replica >= self.initial.len() {
+                    report.push(Diagnostic::warning(
+                        "fault::replica-never-commissioned",
+                        fault_ctx.to_string(),
+                        format!(
+                            "replica {replica} is beyond the initial fleet of {} — the fault is a \
+                         no-op unless autoscaling has commissioned that slot by then",
+                            self.initial.len()
+                        ),
+                        "confirm the autoscaler can plausibly reach that fleet size first",
+                    ));
+                }
+            };
+        for (i, spec) in self.faults.resolve(self.initial.len()).iter().enumerate() {
+            let fault_ctx = format!("fault[{i}] {} at {} ms", spec.kind.label(), spec.at_ms);
+            if spec.at_ms < 0.0 || spec.at_ms.is_nan() {
+                report.push(Diagnostic::deny(
+                    "fault::negative-time",
+                    fault_ctx.clone(),
+                    format!(
+                        "injection time {} ms is before the start of the run",
+                        spec.at_ms
+                    ),
+                    "schedule faults at t >= 0",
+                ));
+            }
+            match &spec.kind {
+                FaultKind::ReplicaCrash { replica } => {
+                    replica_in_range(*replica, &fault_ctx, &mut report);
+                }
+                FaultKind::LinkDegrade {
+                    replica,
+                    duration_ms,
+                } => {
+                    replica_in_range(*replica, &fault_ctx, &mut report);
+                    if *duration_ms < 0.0 || duration_ms.is_nan() {
+                        report.push(Diagnostic::deny(
+                            "fault::negative-duration",
+                            fault_ctx.clone(),
+                            format!(
+                                "degradation lasts {duration_ms} ms — durations cannot be negative"
+                            ),
+                            "use a duration >= 0 (zero is a deterministic no-op)",
+                        ));
+                    }
+                }
+                FaultKind::IslandPartition {
+                    replicas,
+                    duration_ms,
+                    ..
+                } => {
+                    for &replica in replicas {
+                        replica_in_range(replica, &fault_ctx, &mut report);
+                    }
+                    if replicas.is_empty() {
+                        report.push(Diagnostic::warning(
+                            "fault::empty-partition",
+                            fault_ctx.clone(),
+                            "the partition lists no replicas — it can never affect the fleet"
+                                .to_string(),
+                            "list the replica slots on the partitioned island",
+                        ));
+                    }
+                    if *duration_ms < 0.0 || duration_ms.is_nan() {
+                        report.push(Diagnostic::deny(
+                            "fault::negative-duration",
+                            fault_ctx.clone(),
+                            format!(
+                                "partition lasts {duration_ms} ms — durations cannot be negative"
+                            ),
+                            "use a duration >= 0 (zero is a deterministic no-op)",
+                        ));
+                    }
+                }
+            }
+            if trace_end_ms.is_none_or(|end| spec.at_ms > end) {
+                report.push(Diagnostic::warning(
+                    "fault::past-trace-end",
+                    fault_ctx,
+                    format!(
+                        "the fault fires after the last arrival ({} ms) — it can only affect \
+                         the post-trace drain",
+                        trace_end_ms.unwrap_or(0.0)
+                    ),
+                    "move the fault before the end of the trace if it should hit live traffic",
+                ));
+            }
+        }
+
+        // SLO sanity: a p95-TTFT target below the *best single step* any
+        // capable replica can execute is unachievable at any fleet size —
+        // adding replicas never makes one step faster.
+        if let Some(slo) = self.autoscaler.ttft_slo_ms() {
+            let slo_ctx = self.autoscaler.name();
+            if slo <= 0.0 || slo.is_nan() {
+                report.push(Diagnostic::deny(
+                    "slo::nonpositive",
+                    slo_ctx,
+                    format!("the TTFT SLO is {slo} ms — targets must be positive"),
+                    "set a positive SLO",
+                ));
+            } else {
+                // The physical floor: one request, one-token prompt, alone
+                // on the fastest capable replica.
+                let batch = StepBatch {
+                    prefill: vec![(0, 1)],
+                    decode: Vec::new(),
+                };
+                let running = [RunningRequest::new(
+                    Request {
+                        id: u64::MAX,
+                        arrival_ms: 0.0,
+                        prompt_len: 1,
+                        output_len: 1,
+                    },
+                    0.0,
+                )];
+                let workload = StepWorkload {
+                    batch: &batch,
+                    running: &running,
+                    step_index: 0,
+                };
+                let floor = self
+                    .initial
+                    .iter()
+                    .filter(|b| capable(b.as_ref()))
+                    .map(|b| b.step_cost(&workload).total_ms())
+                    .min_by(f64::total_cmp);
+                if let Some(floor) = floor {
+                    if slo < floor {
+                        report.push(Diagnostic::deny(
+                            "slo::unachievable-ttft",
+                            slo_ctx,
+                            format!(
+                                "the TTFT SLO of {slo} ms is below {floor:.3} ms, the fastest \
+                                 single step any capable replica can execute — no fleet size \
+                                 can meet it and the autoscaler would scale out forever",
+                            ),
+                            "raise the SLO above the minimum step cost or use faster replicas",
+                        ));
+                    }
+                }
+            }
+        }
+        report
+    }
+
     /// Serve `trace` (sorted by arrival) to completion and return the fleet
     /// metrics, including per-replica breakdowns and the scaling timeline.
     ///
@@ -624,28 +925,13 @@ impl FleetController {
     /// of panicking.
     ///
     /// # Panics
-    /// Panics if the initial fleet is empty, the control-plane knobs are
-    /// degenerate (non-positive tick/window, zero `min_replicas`, zero
-    /// `max_drain_ticks`) or the trace is not sorted by arrival time.
+    /// Panics if [`Self::validate`] finds any deny-severity diagnostic —
+    /// empty fleet, degenerate control-plane knobs, an unsorted trace, a
+    /// fault targeting a replica that can never exist, or an unachievable
+    /// SLO. Unlike an assert chain, the panic message lists *every* problem
+    /// at once.
     pub fn run(mut self, trace: &[Request]) -> FleetMetrics {
-        assert!(
-            !self.initial.is_empty(),
-            "a fleet needs at least one replica"
-        );
-        assert!(self.config.min_replicas >= 1, "min_replicas must be >= 1");
-        assert!(
-            self.config.tick_ms > 0.0 && self.config.window_ms > 0.0,
-            "tick and window must be positive"
-        );
-        assert!(self.config.warmup_ms >= 0.0, "warm-up cannot be negative");
-        assert!(
-            self.config.max_drain_ticks >= 1,
-            "max_drain_ticks must be >= 1"
-        );
-        assert!(
-            trace.windows(2).all(|w| w[0].arrival_ms <= w[1].arrival_ms),
-            "trace must be sorted by arrival time"
-        );
+        self.validate(trace).assert_valid();
 
         let scfg = self.config.scheduler;
         let mut slots: Vec<Slot> = self

@@ -35,7 +35,11 @@
 //!   `Box<dyn ExecutionBackend>` replicas behind a capability-aware
 //!   dispatcher, with SLO-driven autoscaling and a scaling timeline;
 //! * [`dispatch`] — the offline (static, identical-replica) dispatch shim
-//!   kept for bit-for-bit compatibility with the pre-control-plane sweeps.
+//!   kept for bit-for-bit compatibility with the pre-control-plane sweeps;
+//! * [`validate`] — static experiment validation: the [`Diagnostic`] /
+//!   [`ValidationReport`] engine that rejects ill-formed configurations
+//!   (out-of-range fault targets, empty scaling bands, unachievable SLOs)
+//!   before any event runs, surfacing every problem at once.
 //!
 //! ```
 //! use samoyeds_gpu_sim::DeviceSpec;
@@ -65,6 +69,7 @@ pub mod request;
 pub mod scheduler;
 pub mod telemetry;
 pub mod trace;
+pub mod validate;
 
 pub use backend::{
     ExecutionBackend, MemoryBudget, OverlapModel, SingleGpuBackend, StepCost, StepWorkload,
@@ -87,6 +92,7 @@ pub use telemetry::{
     NullSink, RequestTimeline, SharedSink, TickSnapshot, TraceEvent, TraceRecorder, TraceSink,
 };
 pub use trace::{BurstPhase, BurstyTraceConfig, TraceConfig};
+pub use validate::{Diagnostic, Severity, Validate, ValidationReport};
 
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;

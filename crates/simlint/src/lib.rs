@@ -1,0 +1,735 @@
+//! `simlint` — the workspace's determinism linter.
+//!
+//! Every guarantee the simulator ships — bit-for-bit event/tick
+//! equivalence, replayable ChaCha fault schedules, the CI-gated perf
+//! trajectory — rests on the codebase staying deterministic. This crate is
+//! the cheap static gate that keeps it that way: a dependency-free
+//! line/token-level scanner (no `syn`; the workspace vendors only
+//! stand-ins) that walks Rust sources and flags the constructs that have
+//! historically turned into flaky equivalence tests.
+//!
+//! The rules (see [`rules`]):
+//!
+//! * `hashmap` — no `std::collections` hash containers in sim crates:
+//!   their iteration order is nondeterministic across runs and toolchains.
+//! * `wallclock` — no wall-clock reads outside `crates/bench/src/bin`:
+//!   simulated time is the only clock a deterministic run may consult.
+//! * `unseeded-rng` — no `thread_rng` / `rand::random` / `from_entropy`:
+//!   every random draw must come from an explicitly seeded generator.
+//! * `float-eq` — no raw `==` / `!=` against float literals: exact
+//!   comparisons against cost values belong in the pinned equivalence
+//!   suites (`assert_eq!`), not in control flow.
+//! * `hot-unwrap` — no `.unwrap()` in the `serve::events` /
+//!   `serve::faults` hot paths: a poisoned queue should surface as a
+//!   diagnostic, not a panic mid-sweep.
+//!
+//! Intentional violations are waived in place with an escape comment that
+//! must carry a reason:
+//!
+//! ```text
+//! // simlint::allow(float-eq): exact replay pin, both sides produced by
+//! // the same deterministic pricing path
+//! ```
+//!
+//! A waiver suppresses that rule on its own line (trailing comment) and on
+//! the next line carrying code — a multi-line reason does not break the
+//! coverage. A waiver without a reason, or naming a rule that does not
+//! exist, is itself a deny (`allow-without-reason` / `unknown-rule`), so
+//! the escape hatch cannot rot into an unexplained blanket.
+//!
+//! Diagnostics render rustc-style and sort deterministically by
+//! `(file, line, rule)` regardless of scan order, so CI output is stable:
+//!
+//! ```text
+//! crates/serve/src/fleet.rs:712: deny[simlint::hashmap]: std::collections hash containers iterate in nondeterministic order
+//! ```
+//!
+//! Scanning is purely lexical: string literals and comments are masked
+//! before token matching, so prose mentioning `HashMap` never self-flags,
+//! and `r#"…"#` raw strings, nested block comments, char literals and
+//! lifetimes are all handled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Rule id: `std::collections::HashMap` / `HashSet` in sim code.
+pub const RULE_HASHMAP: &str = "hashmap";
+/// Rule id: `Instant::now` / `SystemTime` outside `crates/bench/src/bin`.
+pub const RULE_WALLCLOCK: &str = "wallclock";
+/// Rule id: `thread_rng` / `rand::random` / `from_entropy`.
+pub const RULE_UNSEEDED_RNG: &str = "unseeded-rng";
+/// Rule id: raw `==` / `!=` against a float literal.
+pub const RULE_FLOAT_EQ: &str = "float-eq";
+/// Rule id: `.unwrap()` in the `serve::events` / `serve::faults` hot paths.
+pub const RULE_HOT_UNWRAP: &str = "hot-unwrap";
+/// Meta rule id: a `simlint::allow` escape missing its `: reason` tail.
+pub const RULE_ALLOW_WITHOUT_REASON: &str = "allow-without-reason";
+/// Meta rule id: a `simlint::allow` escape naming a rule that does not
+/// exist (usually a typo, which would otherwise silently suppress nothing).
+pub const RULE_UNKNOWN_RULE: &str = "unknown-rule";
+
+/// One lint rule: a stable id (as named in `deny[simlint::<id>]`
+/// diagnostics and `simlint::allow(<id>)` escapes), a one-line summary and
+/// the rationale for why the rule exists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rule {
+    /// Stable rule id.
+    pub id: &'static str,
+    /// One-line summary (the diagnostic message).
+    pub summary: &'static str,
+    /// Why the rule exists (rendered as a rustc-style `= note:`).
+    pub rationale: &'static str,
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        id: RULE_HASHMAP,
+        summary: "std::collections hash containers iterate in nondeterministic order",
+        rationale: "a stray iteration over a hash container silently breaks bit-for-bit \
+                    replay; use BTreeMap/BTreeSet or an indexed Vec instead",
+    },
+    Rule {
+        id: RULE_WALLCLOCK,
+        summary: "wall-clock read in simulation code",
+        rationale: "simulated time is the only clock a deterministic run may consult; \
+                    wall-clock timing belongs in crates/bench/src/bin harnesses only",
+    },
+    Rule {
+        id: RULE_UNSEEDED_RNG,
+        summary: "unseeded random number generation",
+        rationale: "every random draw must come from an explicitly seeded generator \
+                    (ChaCha in this workspace) so schedules and traces replay bit for bit",
+    },
+    Rule {
+        id: RULE_FLOAT_EQ,
+        summary: "raw == / != against a float literal",
+        rationale: "exact float comparison in control flow is usually a bug; compare with \
+                    a tolerance, use total_cmp, or waive intentional exact-replay pins \
+                    (comparisons against literal zero are exempt in the numeric-kernel \
+                    crates, where exact zero is the sparsity-structure test)",
+    },
+    Rule {
+        id: RULE_HOT_UNWRAP,
+        summary: ".unwrap() on the event-queue / fault-injection hot path",
+        rationale: "a poisoned queue or schedule should surface as a diagnostic, not a \
+                    panic mid-sweep; handle the None/Err arm explicitly",
+    },
+    Rule {
+        id: RULE_ALLOW_WITHOUT_REASON,
+        summary: "simlint::allow escape without a reason",
+        rationale: "waivers must document why the violation is intentional: \
+                    `// simlint::allow(<rule>): <reason>`",
+    },
+    Rule {
+        id: RULE_UNKNOWN_RULE,
+        summary: "simlint::allow escape naming an unknown rule",
+        rationale: "an allow for a rule that does not exist suppresses nothing and \
+                    usually hides a typo",
+    },
+];
+
+/// The full rule table, in stable order (the five source rules first, then
+/// the two meta rules governing the escape comments themselves).
+pub fn rules() -> &'static [Rule] {
+    RULES
+}
+
+/// Look up a rule's rationale by id.
+pub fn rationale(rule_id: &str) -> Option<&'static str> {
+    RULES.iter().find(|r| r.id == rule_id).map(|r| r.rationale)
+}
+
+/// One diagnostic: a rule violation at a file/line.
+///
+/// The derived ordering — file, then line, then rule id, then message —
+/// is the canonical output order; [`scan_roots`] sorts with it so the
+/// rendered report is identical for any scan order (pinned by proptest).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Lint {
+    /// Path of the offending file, as given to [`scan_file`].
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The violated rule's id.
+    pub rule: &'static str,
+    /// The diagnostic message.
+    pub message: String,
+}
+
+impl Lint {
+    /// Render rustc-style: `file:line: deny[simlint::rule]: message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: deny[simlint::{}]: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `simlint::allow(rule): reason` escape comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Allow {
+    /// Line the escape comment sits on.
+    line: usize,
+    /// The rule it waives.
+    rule: String,
+    /// Whether the `: reason` tail is present and non-empty.
+    has_reason: bool,
+}
+
+/// A token of masked source: just enough lexical structure for the rules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num { float: bool, zero: bool },
+    Op(String),
+}
+
+/// Scan one file's contents. `path` is used for diagnostics and for the
+/// path-scoped rules (`wallclock` is exempt under `crates/bench/src/bin/`;
+/// `hot-unwrap` applies only to `crates/serve/src/events.rs` and
+/// `crates/serve/src/faults.rs`). Pure: no filesystem access.
+pub fn scan_file(path: &str, content: &str) -> Vec<Lint> {
+    let path_norm = path.replace('\\', "/");
+    let wallclock_exempt = path_norm.contains("crates/bench/src/bin/");
+    let unwrap_applies = ["crates/serve/src/events.rs", "crates/serve/src/faults.rs"]
+        .iter()
+        .any(|p| path_norm.ends_with(p));
+    // In the numeric-kernel crates an exact comparison against literal zero
+    // is the sparsity-structure test itself (`v != 0.0` counts nonzeros) —
+    // correct and idiomatic, so only nonzero literals flag there. The
+    // simulation / control-plane crates get the strict rule.
+    let zero_exempt = [
+        "crates/sparse/",
+        "crates/sptc/",
+        "crates/kernels/",
+        "crates/moe/",
+        "crates/pruning/",
+        "crates/gpu-sim/",
+    ]
+    .iter()
+    .any(|p| path_norm.contains(p));
+
+    let (masked, allows) = mask_and_allows(content);
+    let mut lints = Vec::new();
+    let push = |lints: &mut Vec<Lint>, line: usize, rule: &'static str| {
+        let summary = RULES
+            .iter()
+            .find(|r| r.id == rule)
+            .map(|r| r.summary)
+            .unwrap_or(rule);
+        lints.push(Lint {
+            file: path.to_string(),
+            line,
+            rule,
+            message: summary.to_string(),
+        });
+    };
+
+    for (idx, line_text) in masked.lines().enumerate() {
+        let line = idx + 1;
+        let toks = tokenize_line(line_text);
+        for (t, tok) in toks.iter().enumerate() {
+            match tok {
+                Tok::Ident(name) => match name.as_str() {
+                    "HashMap" | "HashSet" => push(&mut lints, line, RULE_HASHMAP),
+                    "SystemTime" if !wallclock_exempt => push(&mut lints, line, RULE_WALLCLOCK),
+                    "Instant"
+                        if !wallclock_exempt
+                            && is_op(toks.get(t + 1), "::")
+                            && is_ident(toks.get(t + 2), "now") =>
+                    {
+                        push(&mut lints, line, RULE_WALLCLOCK)
+                    }
+                    "thread_rng" | "from_entropy" => push(&mut lints, line, RULE_UNSEEDED_RNG),
+                    "random"
+                        if t >= 2
+                            && is_op(toks.get(t - 1), "::")
+                            && is_ident(toks.get(t - 2), "rand") =>
+                    {
+                        push(&mut lints, line, RULE_UNSEEDED_RNG)
+                    }
+                    "unwrap"
+                        if unwrap_applies
+                            && t >= 1
+                            && is_op(toks.get(t - 1), ".")
+                            && is_op(toks.get(t + 1), "(") =>
+                    {
+                        push(&mut lints, line, RULE_HOT_UNWRAP)
+                    }
+                    _ => {}
+                },
+                Tok::Op(op) if op == "==" || op == "!=" => {
+                    let flags = |tok: Option<&Tok>| match tok {
+                        Some(Tok::Num { float: true, zero }) => !(*zero && zero_exempt),
+                        _ => false,
+                    };
+                    if (t >= 1 && flags(toks.get(t - 1))) || flags(toks.get(t + 1)) {
+                        push(&mut lints, line, RULE_FLOAT_EQ);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Apply waivers: an allow covers its own line (trailing comment) and
+    // the next line carrying any code — intermediate comment-only lines
+    // (the waiver's own multi-line reason) do not break the coverage. A
+    // waiver suppresses even when malformed — the malformation is reported
+    // on its own line instead, so one fix (adding the reason) resolves the
+    // file rather than uncovering a second diagnostic.
+    let masked_lines: Vec<&str> = masked.lines().collect();
+    let covered = |a: &Allow, line: usize| {
+        if a.line == line {
+            return true;
+        }
+        if line < a.line {
+            return false;
+        }
+        // `line` must be the first code-bearing line below the waiver.
+        masked_lines[a.line.min(masked_lines.len())..line.saturating_sub(1)]
+            .iter()
+            .all(|l| l.trim().is_empty())
+    };
+    lints.retain(|l| {
+        !allows
+            .iter()
+            .any(|a| a.rule == l.rule && covered(a, l.line))
+    });
+    for a in &allows {
+        if !RULES.iter().any(|r| r.id == a.rule) {
+            lints.push(Lint {
+                file: path.to_string(),
+                line: a.line,
+                rule: RULE_UNKNOWN_RULE,
+                message: format!("simlint::allow names unknown rule `{}`", a.rule),
+            });
+        } else if !a.has_reason {
+            lints.push(Lint {
+                file: path.to_string(),
+                line: a.line,
+                rule: RULE_ALLOW_WITHOUT_REASON,
+                message: format!(
+                    "simlint::allow({}) has no reason; write `// simlint::allow({}): <why>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+    lints.sort();
+    lints
+}
+
+/// Directory names the walker never descends into: build output, the
+/// vendored stand-ins (external code held to external standards), the
+/// linter's own seeded-violation fixtures, and integration-test /
+/// criterion-bench trees (not simulation hot paths; unit tests inside
+/// `src/` files are still scanned).
+pub const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures", "tests", "benches"];
+
+/// Walk `roots` (files or directories, e.g. `["crates", "examples"]`),
+/// scan every `.rs` file outside [`SKIP_DIRS`], and return the file count
+/// plus all diagnostics in canonical order.
+pub fn scan_roots<S: AsRef<str>>(roots: &[S]) -> io::Result<(usize, Vec<Lint>)> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in roots {
+        let path = Path::new(root.as_ref());
+        if !path.exists() {
+            return Err(io::Error::new(
+                io::ErrorKind::NotFound,
+                format!("no such file or directory: {}", root.as_ref()),
+            ));
+        }
+        collect(path, &mut files)?;
+    }
+    files.sort();
+    files.dedup();
+    let mut lints = Vec::new();
+    for file in &files {
+        let content = fs::read_to_string(file)?;
+        lints.extend(scan_file(&file.to_string_lossy(), &content));
+    }
+    lints.sort();
+    Ok((files.len(), lints))
+}
+
+fn collect(path: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    if path.is_dir() {
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if SKIP_DIRS.contains(&name) {
+            return Ok(());
+        }
+        let mut entries: Vec<PathBuf> = fs::read_dir(path)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        entries.sort();
+        for entry in entries {
+            collect(&entry, files)?;
+        }
+    } else if path.extension().is_some_and(|e| e == "rs") {
+        files.push(path.to_path_buf());
+    }
+    Ok(())
+}
+
+/// Blank out comments and string/char literals (preserving newlines so
+/// line numbers survive), collecting `simlint::allow` escapes from the
+/// comment text as it goes.
+fn mask_and_allows(content: &str) -> (String, Vec<Allow>) {
+    let chars: Vec<char> = content.chars().collect();
+    let mut out = String::with_capacity(content.len());
+    let mut allows = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            out.push('\n');
+            line += 1;
+            i += 1;
+            continue;
+        }
+        // Line comment (covers /// and //! doc comments too).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            parse_allows(&text, line, &mut allows);
+            push_spaces(&mut out, i - start);
+            continue;
+        }
+        // Block comment, possibly nested and multi-line; escapes are
+        // parsed per contained line so their line numbers stay exact.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut comment_line = String::new();
+            out.push_str("  ");
+            i += 2;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    comment_line.push_str("/*");
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    out.push_str("  ");
+                    i += 2;
+                } else if chars[i] == '\n' {
+                    parse_allows(&comment_line, line, &mut allows);
+                    comment_line.clear();
+                    out.push('\n');
+                    line += 1;
+                    i += 1;
+                } else {
+                    comment_line.push(chars[i]);
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            parse_allows(&comment_line, line, &mut allows);
+            continue;
+        }
+        // Raw (and raw byte) strings: r"…", r#"…"#, br##"…"##.
+        let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+        if (c == 'r' || c == 'b') && !prev_is_ident {
+            let mut j = i;
+            if chars[j] == 'b' {
+                j += 1;
+            }
+            if chars.get(j) == Some(&'r') {
+                j += 1;
+                let mut hashes = 0usize;
+                while chars.get(j) == Some(&'#') {
+                    hashes += 1;
+                    j += 1;
+                }
+                if chars.get(j) == Some(&'"') {
+                    // Confirmed raw string: mask until `"` + `#` * hashes.
+                    push_spaces(&mut out, j + 1 - i);
+                    i = j + 1;
+                    'raw: while i < chars.len() {
+                        if chars[i] == '\n' {
+                            out.push('\n');
+                            line += 1;
+                            i += 1;
+                            continue;
+                        }
+                        if chars[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && chars.get(i + 1 + k) == Some(&'#') {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                push_spaces(&mut out, 1 + hashes);
+                                i += 1 + hashes;
+                                break 'raw;
+                            }
+                        }
+                        out.push(' ');
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+        }
+        // Ordinary (and byte) string literal with escapes.
+        if c == '"' {
+            out.push(' ');
+            i += 1;
+            while i < chars.len() {
+                if chars[i] == '\\' {
+                    push_spaces(&mut out, 1);
+                    i += 1;
+                    if i < chars.len() {
+                        if chars[i] == '\n' {
+                            out.push('\n');
+                            line += 1;
+                        } else {
+                            out.push(' ');
+                        }
+                        i += 1;
+                    }
+                    continue;
+                }
+                if chars[i] == '\n' {
+                    out.push('\n');
+                    line += 1;
+                    i += 1;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    out.push(' ');
+                    i += 1;
+                    break;
+                }
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime/label: 'x' and '\n' are literals,
+        // 'static is a lifetime (masked quote, identifier kept).
+        if c == '\'' {
+            if chars.get(i + 1) == Some(&'\\') {
+                out.push_str("  ");
+                i += 2;
+                while i < chars.len() && chars[i] != '\'' && chars[i] != '\n' {
+                    out.push(' ');
+                    i += 1;
+                }
+                if chars.get(i) == Some(&'\'') {
+                    out.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if chars.get(i + 2) == Some(&'\'') && chars.get(i + 1) != Some(&'\'') {
+                out.push_str("   ");
+                i += 3;
+                continue;
+            }
+            out.push(' ');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    (out, allows)
+}
+
+fn push_spaces(out: &mut String, n: usize) {
+    for _ in 0..n {
+        out.push(' ');
+    }
+}
+
+/// Extract a `simlint::allow(rule): reason` escape from one comment line.
+///
+/// The directive must be the first thing in the comment (after the `//`,
+/// `/*`, doc-comment or decoration characters) — prose *mentioning* the
+/// syntax mid-sentence, as this crate's own docs do, is not a waiver.
+fn parse_allows(text: &str, line: usize, allows: &mut Vec<Allow>) {
+    const NEEDLE: &str = "simlint::allow(";
+    let body = text.trim_start_matches(['/', '!', '*', ' ', '\t']);
+    let Some(after) = body.strip_prefix(NEEDLE) else {
+        return;
+    };
+    let Some(close) = after.find(')') else {
+        return;
+    };
+    let rule = after[..close].trim().to_string();
+    let tail = &after[close + 1..];
+    let has_reason = tail
+        .trim_start()
+        .strip_prefix(':')
+        .is_some_and(|r| !r.trim().is_empty());
+    allows.push(Allow {
+        line,
+        rule,
+        has_reason,
+    });
+}
+
+fn is_op(tok: Option<&Tok>, op: &str) -> bool {
+    matches!(tok, Some(Tok::Op(o)) if o == op)
+}
+
+fn is_ident(tok: Option<&Tok>, name: &str) -> bool {
+    matches!(tok, Some(Tok::Ident(n)) if n == name)
+}
+
+/// Tokenize one masked line into identifiers, numbers and operators. Only
+/// `==`, `!=` and `::` are recognised as two-character operators — all the
+/// rules need.
+fn tokenize_line(text: &str) -> Vec<Tok> {
+    let cs: Vec<char> = text.chars().collect();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    while i < cs.len() {
+        let c = cs[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            toks.push(Tok::Ident(cs[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let mut float = false;
+            let mantissa_start = i;
+            while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+                i += 1;
+            }
+            // Fractional part — but not the `..` of a range expression.
+            if cs.get(i) == Some(&'.') && cs.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+                float = true;
+                i += 1;
+                while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+                    i += 1;
+                }
+            }
+            let zero = !cs[mantissa_start..i]
+                .iter()
+                .any(|d| ('1'..='9').contains(d));
+            // Exponent.
+            if matches!(cs.get(i), Some('e') | Some('E')) {
+                let sign = matches!(cs.get(i + 1), Some('+') | Some('-'));
+                let digit_at = if sign { i + 2 } else { i + 1 };
+                if cs.get(digit_at).is_some_and(|d| d.is_ascii_digit()) {
+                    float = true;
+                    i = digit_at;
+                    while i < cs.len() && (cs[i].is_ascii_digit() || cs[i] == '_') {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (f32/f64 makes it a float; 0x… hex digits and
+            // integer suffixes are swallowed without changing the kind).
+            let suffix_start = i;
+            while i < cs.len() && (cs[i].is_alphanumeric() || cs[i] == '_') {
+                i += 1;
+            }
+            if cs.get(suffix_start) == Some(&'f') {
+                float = true;
+            }
+            toks.push(Tok::Num { float, zero });
+        } else {
+            let two: Option<&str> = match (c, cs.get(i + 1)) {
+                ('=', Some('=')) => Some("=="),
+                ('!', Some('=')) => Some("!="),
+                (':', Some(':')) => Some("::"),
+                _ => None,
+            };
+            if let Some(op) = two {
+                toks.push(Tok::Op(op.to_string()));
+                i += 2;
+            } else {
+                toks.push(Tok::Op(c.to_string()));
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_spares_strings_comments_and_lifetimes() {
+        let src = "let a: &'static str = \"HashMap\"; // HashMap here too\n\
+                   /* Instant::now in a block\ncomment */ let b = 'x';\n\
+                   let r = r#\"thread_rng\"#;\n";
+        assert!(scan_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn each_rule_fires_on_real_code() {
+        let lints = scan_file(
+            "crates/x/src/lib.rs",
+            "use std::collections::HashMap;\nlet t = std::time::Instant::now();\n\
+             let r = rand::thread_rng();\nif cost == 1.5 {}\n",
+        );
+        let rules: Vec<&str> = lints.iter().map(|l| l.rule).collect();
+        assert_eq!(
+            rules,
+            vec![
+                RULE_HASHMAP,
+                RULE_WALLCLOCK,
+                RULE_UNSEEDED_RNG,
+                RULE_FLOAT_EQ
+            ]
+        );
+    }
+
+    #[test]
+    fn range_and_integer_comparisons_do_not_flag() {
+        let src = "for i in 0..10 { if i == 3 {} }\nlet ok = n != 42;\nlet f = x == y;\n";
+        assert!(scan_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn allow_with_reason_suppresses_same_and_next_line() {
+        let src = "// simlint::allow(hashmap): membership only\n\
+                   use std::collections::HashSet;\n\
+                   let x = 1.0; let eq = x == 1.0; // simlint::allow(float-eq): pin\n";
+        assert!(scan_file("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn hot_unwrap_is_path_scoped() {
+        let src = "let v = q.pop().unwrap();\n";
+        assert!(scan_file("crates/x/src/lib.rs", src).is_empty());
+        let lints = scan_file("crates/serve/src/events.rs", src);
+        assert_eq!(lints.len(), 1);
+        assert_eq!(lints[0].rule, RULE_HOT_UNWRAP);
+    }
+
+    #[test]
+    fn wallclock_is_exempt_under_bench_bins() {
+        let src = "let t = std::time::Instant::now();\n";
+        assert!(scan_file("crates/bench/src/bin/experiments.rs", src).is_empty());
+        assert_eq!(scan_file("crates/bench/src/experiments.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let lints = scan_file("crates/x/src/lib.rs", "use std::collections::HashMap;\n");
+        assert_eq!(
+            lints[0].render(),
+            "crates/x/src/lib.rs:1: deny[simlint::hashmap]: std::collections hash \
+             containers iterate in nondeterministic order"
+        );
+    }
+}

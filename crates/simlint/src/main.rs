@@ -1,0 +1,57 @@
+//! The `simlint` CLI: scan Rust sources for determinism-rule violations
+//! and exit non-zero on any deny.
+//!
+//! ```text
+//! cargo run -p simlint -- crates examples   # the CI invocation
+//! cargo run -p simlint                      # same (default roots)
+//! cargo run -p simlint -- --rules           # print the rule table
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--rules") {
+        for rule in simlint::rules() {
+            println!("simlint::{:<22} {}", rule.id, rule.summary);
+            println!("{:31}{}", "", rule.rationale);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let roots = if args.is_empty() {
+        vec!["crates".to_string(), "examples".to_string()]
+    } else {
+        args
+    };
+    match simlint::scan_roots(&roots) {
+        Ok((files, lints)) => {
+            for lint in &lints {
+                eprintln!("{}", lint.render());
+                if let Some(rationale) = simlint::rationale(lint.rule) {
+                    eprintln!("  = note: {rationale}");
+                }
+                eprintln!(
+                    "  = help: waive intentionally with `// simlint::allow({}): <reason>`",
+                    lint.rule
+                );
+            }
+            if lints.is_empty() {
+                println!(
+                    "simlint: {files} files clean under {} rules",
+                    simlint::rules().len()
+                );
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "simlint: {} deny diagnostic(s) across {files} scanned files",
+                    lints.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("simlint: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,6 @@
+// Fixture: a waiver missing its `: reason` tail — the waiver suppresses,
+// but earns its own `allow-without-reason` diagnostic.
+// simlint::allow(hashmap)
+fn build() -> std::collections::HashMap<u32, u32> {
+    Default::default()
+}

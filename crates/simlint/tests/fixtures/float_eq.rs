@@ -1,0 +1,4 @@
+// Fixture: one `float-eq` violation (nonzero literal).
+fn check(v: f64) -> bool {
+    v == 0.5
+}

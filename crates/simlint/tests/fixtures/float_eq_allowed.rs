@@ -1,0 +1,5 @@
+// Fixture: the same comparison as float_eq.rs, waived with a reason.
+fn check(v: f64) -> bool {
+    // simlint::allow(float-eq): fixture — exact pin against a constructed value
+    v == 0.5
+}

@@ -1,0 +1,4 @@
+// Fixture: one `hashmap` violation, nothing else.
+fn build() -> std::collections::HashMap<u32, u32> {
+    Default::default()
+}

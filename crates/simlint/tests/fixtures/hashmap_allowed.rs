@@ -1,0 +1,5 @@
+// Fixture: the same violation as hashmap.rs, waived with a reason.
+// simlint::allow(hashmap): fixture — iteration order is never observed
+fn build() -> std::collections::HashMap<u32, u32> {
+    Default::default()
+}

@@ -1,0 +1,5 @@
+// Fixture: one `.unwrap()` — a `hot-unwrap` violation only when scanned
+// under a hot-path label (crates/serve/src/events.rs or faults.rs).
+fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}

@@ -1,0 +1,4 @@
+// Fixture: a waiver naming a rule that does not exist (a typo that would
+// otherwise silently suppress nothing).
+// simlint::allow(hashmpa): typo in the rule id
+fn nothing() {}

@@ -1,0 +1,4 @@
+// Fixture: one `unseeded-rng` violation.
+fn draw() -> u64 {
+    thread_rng().next_u64()
+}

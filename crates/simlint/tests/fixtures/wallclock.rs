@@ -1,0 +1,5 @@
+// Fixture: one `wallclock` violation.
+fn tick() -> f64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_secs_f64()
+}

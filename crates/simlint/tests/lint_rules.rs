@@ -1,0 +1,189 @@
+//! Fixture-driven coverage of every lint rule, the acceptance path (a
+//! `HashMap` introduced into the fleet controller is caught with a
+//! rustc-style diagnostic and a non-zero exit), and a proptest pinning
+//! that the rendered report is identical for any scan order.
+
+use proptest::prelude::*;
+use simlint::{
+    scan_file, scan_roots, Lint, RULE_ALLOW_WITHOUT_REASON, RULE_FLOAT_EQ, RULE_HASHMAP,
+    RULE_HOT_UNWRAP, RULE_UNKNOWN_RULE, RULE_UNSEEDED_RNG, RULE_WALLCLOCK,
+};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// The repository root (two levels up from this crate's manifest).
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Scan a fixture under a synthetic rule-neutral path.
+fn scan_fixture(content: &str) -> Vec<Lint> {
+    scan_file("crates/example/src/fixture.rs", content)
+}
+
+#[test]
+fn each_fixture_fires_its_rule_exactly_once() {
+    let cases = [
+        (include_str!("fixtures/hashmap.rs"), RULE_HASHMAP),
+        (include_str!("fixtures/wallclock.rs"), RULE_WALLCLOCK),
+        (include_str!("fixtures/unseeded_rng.rs"), RULE_UNSEEDED_RNG),
+        (include_str!("fixtures/float_eq.rs"), RULE_FLOAT_EQ),
+        (
+            include_str!("fixtures/allow_without_reason.rs"),
+            RULE_ALLOW_WITHOUT_REASON,
+        ),
+        (include_str!("fixtures/unknown_rule.rs"), RULE_UNKNOWN_RULE),
+    ];
+    for (content, rule) in cases {
+        let lints = scan_fixture(content);
+        assert_eq!(
+            lints.len(),
+            1,
+            "expected exactly one {rule} lint, got: {lints:?}"
+        );
+        assert_eq!(lints[0].rule, rule);
+    }
+}
+
+#[test]
+fn allowed_fixtures_are_clean() {
+    for content in [
+        include_str!("fixtures/hashmap_allowed.rs"),
+        include_str!("fixtures/float_eq_allowed.rs"),
+    ] {
+        let lints = scan_fixture(content);
+        assert!(lints.is_empty(), "waiver did not suppress: {lints:?}");
+    }
+}
+
+#[test]
+fn hot_unwrap_fires_only_under_hot_path_labels() {
+    let content = include_str!("fixtures/hot_unwrap.rs");
+    // Rule-neutral path: `.unwrap()` is fine outside the hot paths.
+    assert!(scan_fixture(content).is_empty());
+    for hot in ["crates/serve/src/events.rs", "crates/serve/src/faults.rs"] {
+        let lints = scan_file(hot, content);
+        assert_eq!(lints.len(), 1, "expected one hot-unwrap lint in {hot}");
+        assert_eq!(lints[0].rule, RULE_HOT_UNWRAP);
+    }
+}
+
+/// The acceptance criterion: the real `crates/serve/src/fleet.rs` is clean
+/// today, and introducing a `HashMap` into it produces a rustc-style
+/// `deny[simlint::hashmap]` diagnostic pointing at the file.
+#[test]
+fn hashmap_introduced_into_fleet_rs_is_caught() {
+    let path = "crates/serve/src/fleet.rs";
+    let pristine = std::fs::read_to_string(repo_root().join(path)).expect("read fleet.rs");
+    assert!(
+        scan_file(path, &pristine).is_empty(),
+        "the checked-in fleet.rs must scan clean"
+    );
+
+    let tainted = format!(
+        "{pristine}\nfn injected() -> std::collections::HashMap<u64, u64> {{ Default::default() }}\n"
+    );
+    let lints = scan_file(path, &tainted);
+    assert_eq!(lints.len(), 1, "got: {lints:?}");
+    assert_eq!(lints[0].rule, RULE_HASHMAP);
+    let rendered = lints[0].render();
+    assert!(
+        rendered.starts_with("crates/serve/src/fleet.rs:")
+            && rendered.contains("deny[simlint::hashmap]"),
+        "not rustc-style: {rendered}"
+    );
+}
+
+#[test]
+fn binary_exits_zero_on_the_clean_workspace() {
+    let output = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .args(["crates", "examples"])
+        .current_dir(repo_root())
+        .output()
+        .expect("run simlint");
+    assert!(
+        output.status.success(),
+        "workspace scan failed:\n{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+#[test]
+fn binary_exits_nonzero_on_a_seeded_violation() {
+    let root = std::env::temp_dir().join(format!("simlint-seeded-{}", std::process::id()));
+    let dir = root.join("crates/serve/src");
+    std::fs::create_dir_all(&dir).expect("create seeded tree");
+    std::fs::write(
+        dir.join("fleet.rs"),
+        "fn injected() -> std::collections::HashMap<u64, u64> { Default::default() }\n",
+    )
+    .expect("write seeded violation");
+
+    let output = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg(root.join("crates").to_str().expect("utf-8 temp path"))
+        .output()
+        .expect("run simlint");
+    let stdout = String::from_utf8_lossy(&output.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&output.stderr).into_owned();
+    std::fs::remove_dir_all(&root).ok();
+
+    assert!(!output.status.success(), "seeded violation was not caught");
+    // Diagnostics go to stderr (rustc-style); the summary line to stdout.
+    assert!(
+        stderr.contains("deny[simlint::hashmap]") && stderr.contains("fleet.rs"),
+        "diagnostic missing from output:\nstdout: {stdout}\nstderr: {stderr}"
+    );
+}
+
+proptest! {
+    /// Scanning the same set of files in any order renders the same
+    /// report: `Lint`'s derived ordering (file, line, rule, message) is a
+    /// total order and the scanner sorts with it.
+    #[test]
+    fn report_is_identical_across_scan_orders(
+        picks in proptest::collection::vec(0usize..4, 1..8),
+        rotation in 0usize..8,
+    ) {
+        let snippets = [
+            include_str!("fixtures/hashmap.rs"),
+            include_str!("fixtures/wallclock.rs"),
+            include_str!("fixtures/unseeded_rng.rs"),
+            include_str!("fixtures/float_eq.rs"),
+        ];
+        let files: Vec<(String, &str)> = picks
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (format!("crates/example/src/f{i}.rs"), snippets[p]))
+            .collect();
+
+        let scan_in_order = |order: &[usize]| -> String {
+            let mut lints: Vec<Lint> = order
+                .iter()
+                .flat_map(|&i| scan_file(&files[i].0, files[i].1))
+                .collect();
+            lints.sort();
+            lints
+                .iter()
+                .map(Lint::render)
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+
+        let natural: Vec<usize> = (0..files.len()).collect();
+        let mut rotated = natural.clone();
+        rotated.rotate_left(rotation % files.len().max(1));
+        let mut reversed = natural.clone();
+        reversed.reverse();
+
+        let baseline = scan_in_order(&natural);
+        prop_assert_eq!(&baseline, &scan_in_order(&rotated));
+        prop_assert_eq!(&baseline, &scan_in_order(&reversed));
+        prop_assert!(!baseline.is_empty(), "every snippet carries a violation");
+    }
+}
+
+#[test]
+fn scan_roots_errors_on_a_missing_root() {
+    assert!(scan_roots(&["no/such/root"]).is_err());
+}

@@ -29,9 +29,16 @@ fn main() {
         max_replicas: 6,
         ..FleetConfig::default()
     };
-    let metrics = FleetKind::Mixed
-        .controller(&model, config, &SloAutoscaler::new(400.0))
-        .run(&trace.generate());
+    let requests = trace.generate();
+    let controller = FleetKind::Mixed.controller(&model, config, &SloAutoscaler::new(400.0));
+    // Validate-first: reject an ill-formed experiment before a single event
+    // runs, and print the advisory warnings run() deliberately keeps quiet.
+    let report = controller.validate(&requests);
+    report.assert_valid();
+    for diagnostic in report.diagnostics() {
+        println!("{diagnostic}");
+    }
+    let metrics = controller.run(&requests);
     println!(
         "mixed fleet ({}): {} served, {} rejected, TTFT p95 {:.0} ms, \
          peak {} replicas, {} scale-outs / {} scale-ins",
