@@ -8,7 +8,7 @@
 //! it to drain.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use samoyeds_dist::FaultSweepReport;
+use samoyeds_dist::{DisaggSweepReport, FaultSweepReport};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
 use samoyeds_moe::engines::EngineKind;
@@ -110,6 +110,15 @@ fn bench_fleet_event_core(c: &mut Criterion) {
     let scfg = SchedulerConfig::default();
     group.bench_function("fault_sweep", |b| {
         b.iter(|| black_box(FaultSweepReport::sweep(&model, &scfg).entries.len()))
+    });
+
+    // Disaggregation-path cost: the full prefill:decode ratio sweep (six
+    // feasible four-pod runs with per-request KV handoffs, plus the three
+    // validation-rejected dense cells). This prices the handoff machinery —
+    // transfer events, decode-pod admission, split-request stitching — so
+    // regressions in the disaggregated path join the tracked trajectory.
+    group.bench_function("disagg_sweep", |b| {
+        b.iter(|| black_box(DisaggSweepReport::sweep(&model, &scfg).entries.len()))
     });
 
     group.finish();

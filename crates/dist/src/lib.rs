@@ -75,9 +75,10 @@ pub use placement::{
 };
 pub use report::{
     render_fleet_sizing, render_placement_comparison, render_topology_placement, ClusterReport,
-    ClusterServingEntry, ClusterServingReport, FaultSweepEntry, FaultSweepReport,
-    FleetAutoscaleEntry, FleetAutoscaleReport, FleetKind, FleetTraceReport, TopologySweepEntry,
-    TopologySweepOutcome, TopologySweepReport,
+    ClusterServingEntry, ClusterServingReport, DisaggSweepEntry, DisaggSweepOutcome,
+    DisaggSweepReport, FaultSweepEntry, FaultSweepReport, FleetAutoscaleEntry,
+    FleetAutoscaleReport, FleetKind, FleetTraceReport, TopologySweepEntry, TopologySweepOutcome,
+    TopologySweepReport,
 };
 pub use topology::{ClusterTopology, FlowMatrix, HierarchicalCost, Island, PairOverride};
 pub use validate::validate_fault_schedule;

@@ -130,6 +130,30 @@ mod tests {
     }
 
     #[test]
+    fn kv_link_mirror_prices_a_handoff_exactly_like_the_link_it_came_from() {
+        // `serve::KvLink` is the dependency-direction-preserving mirror of
+        // `LinkSpec` for KV-cache handoffs: same latency floor, same
+        // bandwidth term, bit-for-bit. Pin `transfer_ms` against
+        // `point_to_point_ms` across the presets and a byte range
+        // (including the zero-byte fast path) so the two formulas can never
+        // drift apart.
+        for spec in [
+            LinkSpec::pcie_gen4(),
+            LinkSpec::nvlink3(),
+            LinkSpec::nvlink4(),
+            LinkSpec::infiniband_ndr(),
+        ] {
+            let kv = samoyeds_serve::KvLink {
+                latency_us: spec.latency_us,
+                bandwidth_gbps: spec.bandwidth_gbps,
+            };
+            for bytes in [0.0, 1.0, 4096.0, 1.5e6, 2.0e9] {
+                assert_eq!(kv.transfer_ms(bytes), spec.point_to_point_ms(bytes));
+            }
+        }
+    }
+
+    #[test]
     fn presets_match_their_interconnect_database_entries() {
         // Every preset is a thin view over the `gpu-sim` interconnect
         // database, so the two layers can never disagree about a fabric.

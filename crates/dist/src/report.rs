@@ -15,15 +15,16 @@ use crate::placement::{replan_after_crash, ClusterEngine, ClusterMemoryModel, Pl
 use crate::topology::ClusterTopology;
 use rayon::prelude::*;
 use samoyeds_gpu_sim::DeviceSpec;
+use samoyeds_kernels::samoyeds_kernel::SamoyedsOptions;
 use samoyeds_moe::config::MoeModelConfig;
-use samoyeds_moe::engines::EngineKind;
+use samoyeds_moe::engines::{Engine, EngineKind};
 use samoyeds_moe::router::TopKRouter;
 use samoyeds_serve::{
-    chrome_trace_json, request_timelines, AttributionSummary, BurstyTraceConfig, DispatchPolicy,
-    ExecutionBackend, FaultKind, FaultSchedule, FaultSpec, FleetConfig, FleetController,
-    FleetMetrics, MetricsRegistry, RecoveryPolicy, Request, RequestTimeline, Scheduler,
-    SchedulerConfig, ServingMetrics, SharedSink, SingleGpuBackend, SloAutoscaler, TraceConfig,
-    TraceEvent, TraceRecorder, TraceSink,
+    chrome_trace_json, request_timelines, AttributionSummary, BurstyTraceConfig,
+    DisaggregationConfig, DispatchPolicy, ExecutionBackend, FaultKind, FaultSchedule, FaultSpec,
+    FleetConfig, FleetController, FleetMetrics, KvLink, MemoryModel, MetricsRegistry,
+    RecoveryPolicy, Request, RequestTimeline, Scheduler, SchedulerConfig, ServingMetrics,
+    SharedSink, SingleGpuBackend, SloAutoscaler, TraceConfig, TraceEvent, TraceRecorder, TraceSink,
 };
 
 /// One (device, engine, GPU-count) cell of the sweep.
@@ -1235,6 +1236,342 @@ impl FaultSweepReport {
     }
 }
 
+/// One (engine, prefill:decode split) cell of the disaggregation sweep.
+#[derive(Debug, Clone)]
+pub struct DisaggSweepEntry {
+    /// Weight representation serving the cell.
+    pub engine: ClusterEngine,
+    /// Prefill pods: A100 singles on the leading global slots.
+    pub prefill_pods: usize,
+    /// Decode pods: RTX 4070 Super singles on the remaining slots.
+    pub decode_pods: usize,
+    /// `None` when static validation rejects the cell before anything runs
+    /// (`disagg::decode-cannot-hold-model` — the 12 GiB decode pods cannot
+    /// hold the dense weights); otherwise the run's measurements.
+    pub outcome: Option<DisaggSweepOutcome>,
+}
+
+/// The measured quantities of one feasible disaggregation cell.
+#[derive(Debug, Clone)]
+pub struct DisaggSweepOutcome {
+    /// The run's fleet metrics.
+    pub metrics: FleetMetrics,
+    /// Per-request latency attribution (queue / prefill / transfer / decode).
+    pub attribution: AttributionSummary,
+    /// KV handoffs that stayed inside an island (NVLink-priced).
+    pub intra_transfers: usize,
+    /// Bytes those intra-island handoffs moved.
+    pub intra_bytes: f64,
+    /// KV handoffs that crossed the spine (InfiniBand-priced).
+    pub spine_transfers: usize,
+    /// Bytes those spine handoffs moved.
+    pub spine_bytes: f64,
+}
+
+/// The prefill/decode disaggregation sweep: one shared bursty trace served
+/// by a four-pod fleet (A100 prefill pods, RTX 4070 Super decode pods —
+/// slot *i* on GPU *i* of a 2×2 two-island topology), sweeping the
+/// prefill:decode split 1:3 / 2:2 / 3:1 under dense, VENOM and Samoyeds
+/// weights. Every KV handoff is priced by the topology the pods actually
+/// sit on: pairs sharing an island ride NVLink 3, pairs split across
+/// islands pay the InfiniBand NDR spine — the same `point_to_point_ms`
+/// formula the placement layer charges for weight transfers, mirrored into
+/// the serve-side [`KvLink`] (pinned by a test in `link`).
+///
+/// The dense cells are where the paper's memory story bites: Qwen2-MoE's
+/// bf16 weights do not fit a 12 GiB decode pod, so every dense split
+/// validates as infeasible and dense serving cannot disaggregate on this
+/// hardware at all, while the compressed representations (VENOM, Samoyeds)
+/// both fit and free KV headroom on top — the ratio-shift contrast
+/// [`DisaggSweepReport::ratio_contrast`] reports.
+#[derive(Debug, Clone)]
+pub struct DisaggSweepReport {
+    /// The model served.
+    pub model: String,
+    /// Requests in the shared trace.
+    pub num_requests: usize,
+    /// Pods in every cell's fleet.
+    pub slots: usize,
+    /// All sweep cells, in (engine, prefill-pod-count) order.
+    pub entries: Vec<DisaggSweepEntry>,
+    /// The designated run's recorded event stream (the Samoyeds 1:3 cell —
+    /// the split with both intra-island and spine handoffs), for the
+    /// Chrome trace export.
+    pub events: Vec<TraceEvent>,
+    /// Replica track names for the Chrome trace export.
+    pub replica_names: Vec<String>,
+}
+
+impl DisaggSweepReport {
+    /// Pods in every cell's fleet: GPUs of the 2×2 demo topology.
+    const SLOTS: usize = 4;
+
+    /// The serve-side mirror of a dist link: same latency, same bandwidth,
+    /// so [`KvLink::transfer_ms`] and [`LinkSpec::point_to_point_ms`] price
+    /// a handoff identically.
+    fn kv_link(spec: &LinkSpec) -> KvLink {
+        KvLink {
+            latency_us: spec.latency_us,
+            bandwidth_gbps: spec.bandwidth_gbps,
+        }
+    }
+
+    /// The serve-level engine a [`ClusterEngine`]'s memory accounting maps
+    /// onto (VENOM stores the same compressed weights Samoyeds does).
+    fn memory_kind(engine: ClusterEngine) -> EngineKind {
+        match engine {
+            ClusterEngine::Dense => EngineKind::Transformers,
+            ClusterEngine::Venom | ClusterEngine::Samoyeds => EngineKind::Samoyeds,
+        }
+    }
+
+    /// One pod: the representation's memory model with its compute pricing
+    /// — VENOM swaps in the weight-only ("+W") Samoyeds kernels.
+    fn backend(
+        engine: ClusterEngine,
+        device: &DeviceSpec,
+        model: &MoeModelConfig,
+        scfg: &SchedulerConfig,
+    ) -> Box<dyn ExecutionBackend> {
+        let backend = SingleGpuBackend::new(device.clone(), model, Self::memory_kind(engine), scfg);
+        match engine {
+            ClusterEngine::Venom => Box::new(
+                backend.with_engine(
+                    Engine::new(EngineKind::Samoyeds, device.clone())
+                        .with_samoyeds_options(SamoyedsOptions::WEIGHT_ONLY),
+                ),
+            ),
+            _ => Box::new(backend),
+        }
+    }
+
+    /// Run the sweep over [`FleetAutoscaleReport::demo_trace`]. Every cell
+    /// is validated first: an infeasible cell (decode pods that cannot hold
+    /// the weights) is reported as such instead of running, so the dense
+    /// column degrades into `OOM` rows rather than panics.
+    pub fn sweep(model: &MoeModelConfig, scfg: &SchedulerConfig) -> Self {
+        let requests = FleetAutoscaleReport::demo_trace().generate();
+        let topology =
+            ClusterTopology::symmetric(2, 2, LinkSpec::nvlink3(), LinkSpec::infiniband_ndr())
+                .expect("2×2 disaggregation topology is valid");
+        let mut cells = Vec::new();
+        for engine in ClusterEngine::all() {
+            for prefill in 1..Self::SLOTS {
+                cells.push((engine, prefill));
+            }
+        }
+        type Captured = Option<(Vec<TraceEvent>, Vec<String>)>;
+        let results: Vec<(DisaggSweepEntry, Captured)> = cells
+            .par_iter()
+            .map(|&(engine, prefill)| {
+                let prefill_ids: Vec<usize> = (0..prefill).collect();
+                let decode_ids: Vec<usize> = (prefill..Self::SLOTS).collect();
+                // Slot i sits on GPU i: price each prefill→decode pair by
+                // whether it crosses the island boundary.
+                let links: Vec<Vec<KvLink>> = prefill_ids
+                    .iter()
+                    .map(|&p| {
+                        decode_ids
+                            .iter()
+                            .map(|&d| {
+                                if topology.island_of(p) == topology.island_of(d) {
+                                    Self::kv_link(&LinkSpec::nvlink3())
+                                } else {
+                                    Self::kv_link(&LinkSpec::infiniband_ndr())
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let decode_device = DeviceSpec::rtx4070_super();
+                let disagg = DisaggregationConfig {
+                    prefill: prefill_ids,
+                    decode: decode_ids,
+                    memory: MemoryModel::new(&decode_device, Self::memory_kind(engine), model),
+                    links,
+                };
+                let config = FleetConfig {
+                    scheduler: *scfg,
+                    max_replicas: Self::SLOTS,
+                    ..FleetConfig::default()
+                };
+                let (sink, recorder) = SharedSink::new(TraceRecorder::new());
+                let mut controller = FleetController::new(config);
+                for slot in 0..Self::SLOTS {
+                    let device = if slot < prefill {
+                        DeviceSpec::a100_40g()
+                    } else {
+                        decode_device.clone()
+                    };
+                    controller =
+                        controller.with_replica(Self::backend(engine, &device, model, scfg));
+                }
+                let controller = controller.with_disaggregation(disagg).with_sink(sink);
+                let entry = |outcome| DisaggSweepEntry {
+                    engine,
+                    prefill_pods: prefill,
+                    decode_pods: Self::SLOTS - prefill,
+                    outcome,
+                };
+                let report = controller.validate(&requests);
+                if report.has("disagg::decode-cannot-hold-model") {
+                    return (entry(None), None);
+                }
+                report.assert_valid();
+                let metrics = controller.run(&requests);
+                let run_events = recorder.borrow().events();
+                let timelines = request_timelines(&run_events);
+                let attribution = AttributionSummary::from_timelines(&timelines);
+                let (mut intra, mut intra_bytes, mut spine, mut spine_bytes) =
+                    (0usize, 0.0f64, 0usize, 0.0f64);
+                for e in &run_events {
+                    if let TraceEvent::KvTransferStarted {
+                        from, to, bytes, ..
+                    } = *e
+                    {
+                        if topology.island_of(from) == topology.island_of(to) {
+                            intra += 1;
+                            intra_bytes += bytes;
+                        } else {
+                            spine += 1;
+                            spine_bytes += bytes;
+                        }
+                    }
+                }
+                let captured = (engine == ClusterEngine::Samoyeds && prefill == 1).then(|| {
+                    let names = metrics
+                        .per_replica
+                        .iter()
+                        .map(|r| r.description.clone())
+                        .collect();
+                    (run_events, names)
+                });
+                (
+                    entry(Some(DisaggSweepOutcome {
+                        metrics,
+                        attribution,
+                        intra_transfers: intra,
+                        intra_bytes,
+                        spine_transfers: spine,
+                        spine_bytes,
+                    })),
+                    captured,
+                )
+            })
+            .collect();
+        let mut entries = Vec::with_capacity(results.len());
+        let mut events = Vec::new();
+        let mut replica_names = Vec::new();
+        for (entry, captured) in results {
+            if let Some((e, names)) = captured {
+                events = e;
+                replica_names = names;
+            }
+            entries.push(entry);
+        }
+        Self {
+            model: model.name.clone(),
+            num_requests: requests.len(),
+            slots: Self::SLOTS,
+            entries,
+            events,
+            replica_names,
+        }
+    }
+
+    /// The best feasible prefill:decode split for `engine`: most requests
+    /// served, output throughput breaking ties. `None` when every split is
+    /// infeasible for the engine (the dense column).
+    pub fn best_ratio(&self, engine: ClusterEngine) -> Option<(usize, usize)> {
+        self.entries
+            .iter()
+            .filter(|e| e.engine == engine)
+            .filter_map(|e| e.outcome.as_ref().map(|o| (e, o)))
+            .max_by(|(_, a), (_, b)| {
+                (a.metrics.completed, a.metrics.output_tokens_per_s)
+                    .partial_cmp(&(b.metrics.completed, b.metrics.output_tokens_per_s))
+                    .expect("throughputs are finite")
+            })
+            .map(|(e, _)| (e.prefill_pods, e.decode_pods))
+    }
+
+    /// The acceptance contrast: Samoyeds' best feasible split against
+    /// dense's — `None` on the dense side when no dense split is feasible,
+    /// i.e. the compressed weights are what makes the 12 GiB decode pods
+    /// usable at all, shifting the achievable prefill:decode ratio.
+    #[allow(clippy::type_complexity)]
+    pub fn ratio_contrast(&self) -> Option<((usize, usize), Option<(usize, usize)>)> {
+        Some((
+            self.best_ratio(ClusterEngine::Samoyeds)?,
+            self.best_ratio(ClusterEngine::Dense),
+        ))
+    }
+
+    /// The Chrome trace-event JSON of the designated run (KV-transfer
+    /// instants included).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace_json(&self.events, &self.replica_names)
+    }
+
+    /// Render the sweep as markdown: the cell table plus the best-split
+    /// contrast line.
+    pub fn render_markdown(&self) -> Vec<String> {
+        let mib = |b: f64| b / (1u64 << 20) as f64;
+        let mut rows = vec![
+            format!(
+                "Disaggregation sweep: {} ({} requests over {} pods — A100 prefill, \
+                 RTX 4070 Super decode; KV handoffs ride NVLink 3 inside an island, \
+                 InfiniBand NDR across the spine)",
+                self.model, self.num_requests, self.slots
+            ),
+            "| engine | prefill:decode | served | failed | p95 TTFT (ms) | out tok/s | \
+             handoff mean (ms) | KV intra (n / MiB) | KV spine (n / MiB) |"
+                .to_string(),
+            "|---|---|---|---|---|---|---|---|---|".to_string(),
+        ];
+        for e in &self.entries {
+            match &e.outcome {
+                None => rows.push(format!(
+                    "| {} | {}:{} | OOM | - | - | - | - | - | - |",
+                    e.engine.name(),
+                    e.prefill_pods,
+                    e.decode_pods
+                )),
+                Some(o) => rows.push(format!(
+                    "| {} | {}:{} | {} | {} | {:.1} | {:.0} | {:.2} | {} / {:.0} | {} / {:.0} |",
+                    e.engine.name(),
+                    e.prefill_pods,
+                    e.decode_pods,
+                    o.metrics.completed,
+                    o.metrics.failed(),
+                    o.metrics.ttft.p95_ms,
+                    o.metrics.output_tokens_per_s,
+                    o.attribution.transfer.mean_ms,
+                    o.intra_transfers,
+                    mib(o.intra_bytes),
+                    o.spine_transfers,
+                    mib(o.spine_bytes),
+                )),
+            }
+        }
+        if let Some((samoyeds, dense)) = self.ratio_contrast() {
+            rows.push(String::new());
+            rows.push(match dense {
+                Some(d) => format!(
+                    "best split — Samoyeds {}:{} vs dense {}:{}",
+                    samoyeds.0, samoyeds.1, d.0, d.1
+                ),
+                None => format!(
+                    "best split — Samoyeds {}:{}; no dense split is feasible (the decode \
+                     pods cannot hold dense weights)",
+                    samoyeds.0, samoyeds.1
+                ),
+            });
+        }
+        rows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1457,6 +1794,64 @@ mod tests {
         assert!(rows.iter().any(|r| r.contains("fail-fast")));
         assert!(rows.iter().any(|r| r.contains("re-admit + replace")));
         assert!(rows.iter().any(|r| r.starts_with("drain:")));
+    }
+
+    #[test]
+    fn disagg_sweep_shows_compression_unlocking_the_decode_pods() {
+        let report =
+            DisaggSweepReport::sweep(&MoeModelConfig::qwen2_moe(), &SchedulerConfig::default());
+        // 3 engines x 3 prefill:decode splits.
+        assert_eq!(report.entries.len(), 9);
+        for e in &report.entries {
+            assert_eq!(e.prefill_pods + e.decode_pods, report.slots);
+            match e.engine {
+                // The memory story: dense bf16 weights do not fit the
+                // 12 GiB decode pods, so every dense split is rejected by
+                // validation before anything runs.
+                ClusterEngine::Dense => assert!(e.outcome.is_none()),
+                ClusterEngine::Venom | ClusterEngine::Samoyeds => {
+                    let o = e.outcome.as_ref().expect("compressed cells run");
+                    // Conservation in every feasible cell.
+                    assert_eq!(
+                        o.metrics.completed + o.metrics.rejected + o.metrics.failed(),
+                        report.num_requests,
+                        "{} {}:{}",
+                        e.engine.name(),
+                        e.prefill_pods,
+                        e.decode_pods
+                    );
+                    // Every completion decoded remotely, so handoffs flowed
+                    // and the transfer phase showed up in the attribution.
+                    assert!(o.intra_transfers + o.spine_transfers > 0);
+                    assert!(o.intra_bytes + o.spine_bytes > 0.0);
+                    assert!(o.attribution.transfer.mean_ms > 0.0);
+                    // Topology pricing: the 2:2 split puts all prefill in
+                    // island 0 and all decode in island 1, so every handoff
+                    // crosses the spine; the 1:3 and 3:1 splits each keep
+                    // one prefill-decode pair inside an island (GPU 0 - 1
+                    // and GPU 2 - 3 respectively) and see both kinds.
+                    if e.prefill_pods == 2 {
+                        assert_eq!(o.intra_transfers, 0);
+                    } else {
+                        assert!(o.intra_transfers > 0 && o.spine_transfers > 0);
+                    }
+                }
+            }
+        }
+        // The acceptance contrast: Samoyeds has a best feasible split,
+        // dense has none at all.
+        let (samoyeds, dense) = report
+            .ratio_contrast()
+            .expect("samoyeds cells are feasible");
+        assert!(samoyeds.1 >= 1);
+        assert!(dense.is_none());
+        // The designated run's trace carries the transfer spans.
+        let json = report.chrome_trace();
+        assert!(json.contains("\"kv transfer started\""));
+        assert!(json.contains("\"kv transfer complete\""));
+        let rows = report.render_markdown();
+        assert!(rows.iter().any(|r| r.contains("| Dense | 1:3 | OOM |")));
+        assert!(rows.iter().any(|r| r.contains("best split")));
     }
 
     #[test]

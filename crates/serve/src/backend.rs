@@ -319,6 +319,16 @@ impl SingleGpuBackend {
         }
     }
 
+    /// Swap the step-pricing engine while keeping the memory model, router
+    /// and device. This is how `samoyeds-dist` mounts the VENOM ("+W",
+    /// weight-only sparsity) configuration: the Samoyeds memory footprint —
+    /// compressed weights free the same KV headroom — priced with the
+    /// weight-only kernels (dense inputs, permute round trips).
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
     /// The full-model memory model (concrete type, for callers that need
     /// more than the [`MemoryBudget`] surface).
     pub fn memory_model(&self) -> &MemoryModel {

@@ -10,9 +10,10 @@
 //! use the fleet controller; this module remains the static, identical-
 //! replica fast path.
 
-use crate::backend::{ExecutionBackend, SingleGpuBackend};
+use crate::backend::{ExecutionBackend, SingleGpuBackend, StepWorkload};
+use crate::batch::StepBatch;
 use crate::fleet::FleetMetrics;
-use crate::request::Request;
+use crate::request::{Request, RunningRequest};
 use crate::scheduler::{Scheduler, SchedulerConfig, SimulationResult};
 use samoyeds_gpu_sim::DeviceSpec;
 use samoyeds_moe::config::MoeModelConfig;
@@ -40,12 +41,54 @@ pub enum DispatchPolicy {
 }
 
 impl DispatchPolicy {
-    /// The decaying least-outstanding policy at its default drain-rate
-    /// estimate (2000 tokens/s, the right order for the serving traces the
-    /// sweeps use).
+    /// The decaying least-outstanding policy at its frozen default
+    /// drain-rate estimate (2000 tokens/s). The figure predates the current
+    /// backends and is kept only so existing sweeps reproduce exactly; new
+    /// code should derive the rate from the backend it dispatches to via
+    /// [`Self::least_outstanding_for`].
     pub fn least_outstanding() -> Self {
         DispatchPolicy::LeastOutstandingTokens {
             drain_tokens_per_s: 2_000.0,
+        }
+    }
+
+    /// The decaying least-outstanding policy with its drain-rate estimate
+    /// derived from `backend`'s own [`step_cost`](ExecutionBackend::step_cost):
+    /// the token rate a saturated decode-only step sustains, which is what
+    /// the decay is modelling.
+    pub fn least_outstanding_for(backend: &dyn ExecutionBackend) -> Self {
+        // A representative steady-state decode step: a full batch of
+        // mid-length contexts, each producing one token.
+        const DECODES: usize = 32;
+        const CONTEXT: usize = 256;
+        let running: Vec<RunningRequest> = (0..DECODES)
+            .map(|i| {
+                let mut r = RunningRequest::new(
+                    Request {
+                        id: i as u64,
+                        arrival_ms: 0.0,
+                        prompt_len: CONTEXT,
+                        output_len: 8,
+                    },
+                    0.0,
+                );
+                r.prefilled = CONTEXT;
+                r.decoded = 1;
+                r
+            })
+            .collect();
+        let batch = StepBatch {
+            prefill: Vec::new(),
+            decode: (0..DECODES).collect(),
+        };
+        let cost = backend.step_cost(&StepWorkload {
+            batch: &batch,
+            running: &running,
+            step_index: 0,
+        });
+        let step_ms = cost.total_ms().max(f64::MIN_POSITIVE);
+        DispatchPolicy::LeastOutstandingTokens {
+            drain_tokens_per_s: DECODES as f64 / (step_ms / 1e3),
         }
     }
 
@@ -64,7 +107,12 @@ impl DispatchPolicy {
 /// input trace.
 ///
 /// # Panics
-/// Panics if `replicas` is zero.
+/// Panics if `replicas` is zero, or — under
+/// [`DispatchPolicy::LeastOutstandingTokens`] — if the trace is not sorted
+/// by arrival time (diagnostic code `fleet::unsorted-trace`, the same one
+/// [`FleetController::validate`](crate::fleet::FleetController::validate)
+/// reports): a negative inter-arrival gap would otherwise be silently
+/// clamped to zero and skew the decay.
 pub fn dispatch_trace(
     trace: &[Request],
     replicas: usize,
@@ -81,8 +129,15 @@ pub fn dispatch_trace(
         DispatchPolicy::LeastOutstandingTokens { drain_tokens_per_s } => {
             let mut outstanding = vec![0.0f64; replicas];
             let mut last_ms = 0.0f64;
-            for r in trace {
-                let gap_s = ((r.arrival_ms - last_ms) / 1e3).max(0.0);
+            for (i, r) in trace.iter().enumerate() {
+                assert!(
+                    r.arrival_ms >= last_ms,
+                    "fleet::unsorted-trace: trace[{i}] arrives at {} ms after {} ms — \
+                     sort the trace by arrival_ms before dispatching it",
+                    r.arrival_ms,
+                    last_ms
+                );
+                let gap_s = (r.arrival_ms - last_ms) / 1e3;
                 last_ms = r.arrival_ms;
                 for o in &mut outstanding {
                     *o = (*o - drain_tokens_per_s * gap_s).max(0.0);
@@ -300,6 +355,62 @@ mod tests {
         let decayed = dispatch_trace(&trace, 2, DispatchPolicy::least_outstanding());
         assert_eq!(decayed[0].iter().map(|r| r.id).collect::<Vec<_>>(), [0, 2]);
         assert_eq!(decayed[1].iter().map(|r| r.id).collect::<Vec<_>>(), [1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "fleet::unsorted-trace")]
+    fn decayed_dispatch_rejects_an_unsorted_trace() {
+        // Before the fix the negative gap was clamped to zero and the decay
+        // silently skewed; now the unsorted pair is rejected with the same
+        // diagnostic code FleetController::validate reports.
+        let mk = |id: u64, arrival_ms: f64| Request {
+            id,
+            arrival_ms,
+            prompt_len: 32,
+            output_len: 8,
+        };
+        let trace = vec![mk(0, 100.0), mk(1, 50.0)];
+        dispatch_trace(&trace, 2, DispatchPolicy::least_outstanding());
+    }
+
+    #[test]
+    fn derived_drain_rate_tracks_the_backend_it_was_derived_from() {
+        let scfg = SchedulerConfig::default();
+        let backend = SingleGpuBackend::new(
+            DeviceSpec::a100_40g(),
+            &MoeModelConfig::qwen2_moe(),
+            EngineKind::Samoyeds,
+            &scfg,
+        );
+        let policy = DispatchPolicy::least_outstanding_for(&backend);
+        let DispatchPolicy::LeastOutstandingTokens { drain_tokens_per_s } = policy else {
+            panic!("least_outstanding_for builds the decaying variant");
+        };
+        assert!(drain_tokens_per_s.is_finite() && drain_tokens_per_s > 0.0);
+        // The backend's *real* drain rate: simulate a saturated
+        // decode-dominated workload and measure tokens per second.
+        let trace: Vec<Request> = (0..32)
+            .map(|id| Request {
+                id,
+                arrival_ms: 0.0,
+                prompt_len: 1,
+                output_len: 64,
+            })
+            .collect();
+        let result = Scheduler::from_backend(backend, scfg).run(&trace);
+        let measured = result.output_tokens() as f64 / (result.makespan_ms / 1e3);
+        let ratio = drain_tokens_per_s / measured;
+        assert!(
+            (0.5..=2.0).contains(&ratio),
+            "derived {drain_tokens_per_s:.0} tok/s is not within 2x of the \
+             measured {measured:.0} tok/s"
+        );
+        // The frozen 2000 tok/s default is what drifted: the derived rate
+        // is meaningfully different on the current backends.
+        assert!(
+            (drain_tokens_per_s - 2_000.0).abs() > 200.0,
+            "derived {drain_tokens_per_s:.0} tok/s"
+        );
     }
 
     #[test]

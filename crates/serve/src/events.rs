@@ -16,8 +16,8 @@
 //! loop's interleaving. Two events at the same time are ordered by *event
 //! class* — warm-up completions first (a replica is routable the instant its
 //! warm-up lands), then drain retirements, injected faults and their
-//! recoveries, control ticks, arrivals, and step completions — and ties
-//! within a class are FIFO by insertion sequence.
+//! recoveries, KV-transfer landings, control ticks, arrivals, and step
+//! completions — and ties within a class are FIFO by insertion sequence.
 
 /// One schedulable occurrence in the fleet simulation.
 ///
@@ -46,6 +46,12 @@ pub enum FleetEvent {
     FaultRecovery {
         /// Index into the controller's resolved fault list.
         index: usize,
+    },
+    /// A prefill→decode KV-cache transfer lands on its decode pod
+    /// (disaggregated fleets only — see `serve::fleet`).
+    KvTransferComplete {
+        /// Index into the controller's pending-transfer table.
+        transfer: usize,
     },
     /// The autoscaler's periodic observation point.
     ControlTick {
@@ -76,16 +82,22 @@ impl FleetEvent {
     /// retirements but before the tick (and arrival) at the same instant:
     /// the autoscaler observes the damage, and a request arriving the
     /// instant a replica crashes is never routed to the corpse. A recovery
-    /// coinciding with the fault that scheduled it fires after it.
+    /// coinciding with the fault that scheduled it fires after it. A KV
+    /// transfer landing fires after recoveries (a re-routed transfer aimed at
+    /// a pod that just recovered sees it alive) but before the tick and the
+    /// arrivals at the same instant: the decode pod holds the request before
+    /// the autoscaler observes the fleet and before same-instant arrivals
+    /// route.
     fn class(self) -> u8 {
         match self {
             FleetEvent::WarmupComplete { .. } => 0,
             FleetEvent::DrainRetire { .. } => 1,
             FleetEvent::Fault { .. } => 2,
             FleetEvent::FaultRecovery { .. } => 3,
-            FleetEvent::ControlTick { .. } => 4,
-            FleetEvent::Arrival { .. } => 5,
-            FleetEvent::StepCompletion { .. } => 6,
+            FleetEvent::KvTransferComplete { .. } => 4,
+            FleetEvent::ControlTick { .. } => 5,
+            FleetEvent::Arrival { .. } => 6,
+            FleetEvent::StepCompletion { .. } => 7,
         }
     }
 }
@@ -207,6 +219,7 @@ mod tests {
         q.push(400.0, FleetEvent::StepCompletion { slot: 0 });
         q.push(400.0, FleetEvent::Arrival { index: 9 });
         q.push(400.0, FleetEvent::ControlTick { index: 2 });
+        q.push(400.0, FleetEvent::KvTransferComplete { transfer: 7 });
         q.push(400.0, FleetEvent::FaultRecovery { index: 4 });
         q.push(400.0, FleetEvent::Fault { index: 4 });
         q.push(400.0, FleetEvent::DrainRetire { slot: 1 });
@@ -219,6 +232,7 @@ mod tests {
                 FleetEvent::DrainRetire { slot: 1 },
                 FleetEvent::Fault { index: 4 },
                 FleetEvent::FaultRecovery { index: 4 },
+                FleetEvent::KvTransferComplete { transfer: 7 },
                 FleetEvent::ControlTick { index: 2 },
                 FleetEvent::Arrival { index: 9 },
                 FleetEvent::StepCompletion { slot: 0 },

@@ -32,19 +32,31 @@
 //!   completions — the regime where a 100-replica fleet absorbs a
 //!   million-request trace in seconds. The event loop is pinned bit-for-bit
 //!   against the frozen tick-driven loop in `fleet_event_equivalence.rs`.
+//! * **Prefill/decode disaggregation** — opt-in via
+//!   [`FleetController::with_disaggregation`]: arrivals run chunked prefill
+//!   on *prefill pods*, the finished prompt KV
+//!   ([`MemoryModel::kv_bytes`]-sized) is handed off over a [`KvLink`] to
+//!   the *decode pod* with the most free KV budget, and the remaining
+//!   tokens decode there. The handoff lands as a
+//!   [`FleetEvent::KvTransferComplete`] event; a crashed decode pod's
+//!   in-flight requests re-prefill or re-transfer under the
+//!   [`RecoveryPolicy`]. The ratio-0 endpoint (no decode pods) is
+//!   bit-for-bit the co-located fleet, pinned by `disagg_equivalence.rs`.
 
 use crate::backend::{ExecutionBackend, StepWorkload};
 use crate::batch::StepBatch;
 use crate::dispatch::DispatchPolicy;
 use crate::events::{EventQueue, FleetEvent};
 use crate::faults::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, RecoveryPolicy};
+use crate::memory::MemoryModel;
 use crate::metrics::{latency_summary, LatencySummary, ServingMetrics};
-use crate::request::{Request, RunningRequest};
+use crate::request::{CompletedRequest, Request, RunningRequest};
 use crate::scheduler::{ReplicaDriver, SchedulerConfig, SimulationResult};
 use crate::telemetry::{SharedSink, TraceEvent};
 use crate::validate::{Diagnostic, ValidationReport};
 use samoyeds_moe::engines::EngineKind;
 use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Fleet-level control-plane knobs.
 #[derive(Debug, Clone, Copy)]
@@ -524,6 +536,255 @@ impl Slot {
     }
 }
 
+/// Pricing of one prefill→decode KV-cache handoff path as the serving crate
+/// sees it: a point-to-point link with a fixed latency and a sustained
+/// bandwidth. `samoyeds-dist` builds these from a `ClusterTopology` (NVLink
+/// within an island, the InfiniBand spine across), keeping the crate
+/// dependency direction intact — `serve` only ever needs the two numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KvLink {
+    /// One-way link latency in microseconds.
+    pub latency_us: f64,
+    /// Sustained unidirectional bandwidth in GB/s (bytes, not bits).
+    pub bandwidth_gbps: f64,
+}
+
+impl KvLink {
+    /// Milliseconds to move `bytes` across the link: the latency floor plus
+    /// the serialization time at the sustained bandwidth, zero when there is
+    /// nothing to move. Mirrors `LinkSpec::point_to_point_ms` in
+    /// `samoyeds-dist` formula-for-formula (pinned by a test there), so a
+    /// KV handoff is priced exactly like any other point-to-point transfer
+    /// on the same fabric.
+    pub fn transfer_ms(&self, bytes: f64) -> f64 {
+        if bytes <= 0.0 {
+            return 0.0;
+        }
+        self.latency_us * 1e-3 + bytes / (self.bandwidth_gbps * 1e9) * 1e3
+    }
+}
+
+/// Opt-in prefill/decode disaggregation for [`FleetController`], installed
+/// with [`FleetController::with_disaggregation`].
+///
+/// The initial fleet is partitioned into *prefill pods* and *decode pods*.
+/// Arrivals route to prefill pods only and run chunked prefill there (plus
+/// the first output token, which the final prefill forward produces); the
+/// finished prompt KV — sized by [`MemoryModel::kv_bytes`] — is then handed
+/// off over the [`KvLink`] matrix to the decode pod with the most free KV
+/// budget, where the remaining tokens decode. The handoff lands as a
+/// [`FleetEvent::KvTransferComplete`] event, ordered into the same-instant
+/// event hierarchy after fault recoveries and before control ticks.
+///
+/// An empty decode set disables disaggregation entirely: the controller
+/// takes the ordinary co-located code path bit-for-bit (pinned by the
+/// `disagg_equivalence` suite), which is the ratio-0 endpoint of a
+/// prefill:decode ratio sweep.
+#[derive(Debug, Clone)]
+pub struct DisaggregationConfig {
+    /// Indices (into the initial fleet) of the prefill pods.
+    pub prefill: Vec<usize>,
+    /// Indices (into the initial fleet) of the decode pods. Empty disables
+    /// disaggregation.
+    pub decode: Vec<usize>,
+    /// KV-cache sizing for the transferred prefix. Model-dependent only —
+    /// any device's [`MemoryModel`] for the served model gives the same
+    /// per-token KV bytes.
+    pub memory: MemoryModel,
+    /// `links[p][d]` prices the handoff from `prefill[p]` to `decode[d]`.
+    pub links: Vec<Vec<KvLink>>,
+}
+
+impl DisaggregationConfig {
+    /// A config where every prefill→decode pair rides the same `link`.
+    pub fn uniform(
+        prefill: Vec<usize>,
+        decode: Vec<usize>,
+        memory: MemoryModel,
+        link: KvLink,
+    ) -> Self {
+        let links = vec![vec![link; decode.len()]; prefill.len()];
+        Self {
+            prefill,
+            decode,
+            memory,
+            links,
+        }
+    }
+}
+
+/// One KV-cache handoff in flight between a prefill and a decode pod. The
+/// [`FleetEvent::KvTransferComplete`] event carries an index into the run's
+/// table of these.
+struct PendingTransfer {
+    id: u64,
+    from: usize,
+    to: usize,
+    bytes: f64,
+}
+
+/// Runtime state of a disaggregated run: pod roles, per-prefill-pod
+/// completion watermarks, the original request behind every split id, the
+/// pending-transfer table, and the per-slot step-chain liveness flags that
+/// replace the co-located loop's bulk `advance_to` calls (chains discover
+/// prefill completions at their exact step boundaries, so transfers start
+/// at the moment the prefix finishes rather than at the next arrival).
+struct Disagg {
+    cfg: DisaggregationConfig,
+    /// Slot index → its row in the link matrix (`None` off the prefill set;
+    /// slots commissioned mid-run have no role and receive no traffic).
+    prefill_pos: Vec<Option<usize>>,
+    /// Per-slot watermark into `driver.completed()` — everything below it
+    /// has already been handed off.
+    watermark: Vec<usize>,
+    /// Original (untrimmed) request behind every split id. Entries persist
+    /// to the end of the run: the metrics ledger stitches halves back
+    /// together from them.
+    originals: BTreeMap<u64, Request>,
+    transfers: Vec<PendingTransfer>,
+    in_flight: usize,
+    /// Whether a `StepCompletion` chain is live for each slot — at most one
+    /// pending step event per slot, re-armed on enqueue.
+    chain_armed: Vec<bool>,
+}
+
+impl Disagg {
+    fn new(cfg: DisaggregationConfig, slots: usize) -> Self {
+        let mut prefill_pos = vec![None; slots];
+        for (row, &slot) in cfg.prefill.iter().enumerate() {
+            prefill_pos[slot] = Some(row);
+        }
+        Self {
+            cfg,
+            prefill_pos,
+            watermark: vec![0; slots],
+            originals: BTreeMap::new(),
+            transfers: Vec::new(),
+            in_flight: 0,
+            chain_armed: vec![false; slots],
+        }
+    }
+
+    /// Ensure a step chain is live for `slot`, scheduling its next step no
+    /// earlier than `at` (the current event time — a chain must never pop in
+    /// the past).
+    fn arm_chain(&mut self, queue: &mut EventQueue, slots: &[Slot], slot: usize, at: f64) {
+        if self.chain_armed.len() <= slot {
+            self.chain_armed.resize(slot + 1, false);
+        }
+        if !self.chain_armed[slot] {
+            self.chain_armed[slot] = true;
+            queue.push(
+                at.max(slots[slot].driver.clock_ms()),
+                FleetEvent::StepCompletion { slot },
+            );
+        }
+    }
+
+    /// The slot's chain found no more work and lapsed; the next enqueue
+    /// re-arms it.
+    fn chain_died(&mut self, slot: usize) {
+        if let Some(armed) = self.chain_armed.get_mut(slot) {
+            *armed = false;
+        }
+    }
+
+    /// The decode pod with the most free KV budget that could ever admit
+    /// `remainder`, ties broken toward the lower slot index. The target is
+    /// committed at transfer *start*: the link to it prices the transfer.
+    fn pick_decode_pod(&self, slots: &[Slot], remainder: &Request) -> Option<usize> {
+        self.cfg
+            .decode
+            .iter()
+            .copied()
+            .filter(|&i| {
+                i < slots.len() && slots[i].routable() && slots[i].driver.can_ever_admit(remainder)
+            })
+            .max_by(|&a, &b| {
+                slots[a]
+                    .driver
+                    .kv_headroom_bytes()
+                    .total_cmp(&slots[b].driver.kv_headroom_bytes())
+                    // Equal headroom: prefer the lower slot index (max_by
+                    // keeps the *last* maximum, so order the later index
+                    // lower).
+                    .then(b.cmp(&a))
+            })
+    }
+
+    /// Scan `slot`'s newly finished prefill halves and start their KV
+    /// transfers. `now` is the current event time: a completion surfaced by
+    /// a bulk `advance_to` (fault and control-tick paths) may predate it, so
+    /// the landing is clamped to `now` — the event queue stays causal and
+    /// decode-pod enqueue order stays nondecreasing.
+    fn collect_handoffs(
+        &mut self,
+        slot: usize,
+        slots: &[Slot],
+        queue: &mut EventQueue,
+        sink: Option<&SharedSink>,
+        failed_ids: &mut Vec<u64>,
+        now: f64,
+    ) {
+        let Some(row) = self.prefill_pos.get(slot).copied().flatten() else {
+            return;
+        };
+        let done = slots[slot].driver.completed();
+        for finished in done.iter().skip(self.watermark[slot]) {
+            let finished_ms = finished.finished_ms;
+            let id = finished.request.id;
+            // Untrimmed single-token requests finish entirely on the
+            // prefill pod and never transfer.
+            let Some(original) = self.originals.get(&id).copied() else {
+                continue;
+            };
+            let bytes = self.cfg.memory.kv_bytes(original.prompt_len);
+            let remainder = Request {
+                id,
+                arrival_ms: finished_ms,
+                prompt_len: original.prompt_len,
+                output_len: original.output_len - 1,
+            };
+            match self.pick_decode_pod(slots, &remainder) {
+                Some(to) => {
+                    let col = self
+                        .cfg
+                        .decode
+                        .iter()
+                        .position(|&s| s == to)
+                        .expect("pick_decode_pod returns configured pods");
+                    let link = self.cfg.links[row][col];
+                    if let Some(sink) = sink {
+                        sink.emit(TraceEvent::KvTransferStarted {
+                            id,
+                            from: slot,
+                            to,
+                            bytes,
+                            at_ms: finished_ms,
+                        });
+                    }
+                    let transfer = self.transfers.len();
+                    self.transfers.push(PendingTransfer {
+                        id,
+                        from: slot,
+                        to,
+                        bytes,
+                    });
+                    self.in_flight += 1;
+                    queue.push(
+                        (finished_ms + link.transfer_ms(bytes)).max(now),
+                        FleetEvent::KvTransferComplete { transfer },
+                    );
+                }
+                // No decode pod can ever take the remainder: the request
+                // dies here, not silently in a queue.
+                None => failed_ids.push(id),
+            }
+        }
+        self.watermark[slot] = done.len();
+    }
+}
+
 /// The online fleet control plane. See the [module docs](self) for the
 /// design; typical use is builder-style:
 ///
@@ -562,6 +823,7 @@ pub struct FleetController {
     sink: Option<SharedSink>,
     faults: FaultSchedule,
     recovery: RecoveryPolicy,
+    disagg: Option<DisaggregationConfig>,
 }
 
 impl FleetController {
@@ -576,6 +838,7 @@ impl FleetController {
             sink: None,
             faults: FaultSchedule::none(),
             recovery: RecoveryPolicy::default(),
+            disagg: None,
         }
     }
 
@@ -623,6 +886,15 @@ impl FleetController {
         self
     }
 
+    /// Split the fleet into prefill and decode pods (see
+    /// [`DisaggregationConfig`]). A config with an empty decode set is
+    /// inert: the run is bit-for-bit the co-located run (pinned by the
+    /// `disagg_equivalence` suite).
+    pub fn with_disaggregation(mut self, config: DisaggregationConfig) -> Self {
+        self.disagg = Some(config);
+        self
+    }
+
     /// Statically validate this controller's configuration against the
     /// trace it is about to serve, surfacing *every* problem at once.
     ///
@@ -638,10 +910,14 @@ impl FleetController {
     /// `fleet::nonpositive-window`, `fleet::negative-warmup`,
     /// `fleet::zero-drain-cap`, `fleet::unsorted-trace`,
     /// `fault::negative-time`, `fault::replica-out-of-range`,
-    /// `fault::negative-duration`, `slo::nonpositive`,
+    /// `fault::negative-duration`, `disagg::empty-role`,
+    /// `disagg::role-out-of-range`, `disagg::overlapping-roles`,
+    /// `disagg::link-shape`, `disagg::bad-link`,
+    /// `disagg::decode-cannot-hold-model`, `slo::nonpositive`,
     /// `slo::unachievable-ttft`. Warning codes:
     /// `fleet::no-capable-replica`, `fault::replica-never-commissioned`,
-    /// `fault::empty-partition`, `fault::past-trace-end`.
+    /// `fault::empty-partition`, `fault::past-trace-end`,
+    /// `disagg::no-decode-pods`, `disagg::unassigned-replica`.
     pub fn validate(&self, trace: &[Request]) -> ValidationReport {
         let mut report = ValidationReport::new();
         let cfg = &self.config;
@@ -851,6 +1127,118 @@ impl FleetController {
             }
         }
 
+        // Disaggregation: roles must name real replicas and not overlap,
+        // the link matrix must cover every prefill×decode pair, and every
+        // decode pod must be able to hold the model it decodes for —
+        // otherwise every handoff to it would fail at admission.
+        if let Some(d) = &self.disagg {
+            let dctx = "DisaggregationConfig";
+            if d.decode.is_empty() {
+                report.push(Diagnostic::warning(
+                    "disagg::no-decode-pods",
+                    dctx,
+                    "the decode set is empty — the fleet runs co-located and no KV transfer \
+                     is ever priced",
+                    "list at least one decode pod, or drop with_disaggregation entirely",
+                ));
+            } else {
+                if d.prefill.is_empty() {
+                    report.push(Diagnostic::deny(
+                        "disagg::empty-role",
+                        dctx,
+                        "decode pods are configured but the prefill set is empty — no request \
+                         could ever be admitted",
+                        "list at least one prefill pod",
+                    ));
+                }
+                for &slot in d.prefill.iter().chain(&d.decode) {
+                    if slot >= self.initial.len() {
+                        report.push(Diagnostic::deny(
+                            "disagg::role-out-of-range",
+                            dctx,
+                            format!(
+                                "replica {slot} has a pod role but the initial fleet has only \
+                                 {} replicas — roles bind to initial replicas",
+                                self.initial.len()
+                            ),
+                            "assign roles to initial replica indices only",
+                        ));
+                    }
+                }
+                for &slot in &d.decode {
+                    if d.prefill.contains(&slot) {
+                        report.push(Diagnostic::deny(
+                            "disagg::overlapping-roles",
+                            dctx,
+                            format!(
+                                "replica {slot} is listed as both a prefill and a decode pod — \
+                                 roles must partition the fleet"
+                            ),
+                            "give each replica exactly one role",
+                        ));
+                    }
+                }
+                if d.links.len() != d.prefill.len()
+                    || d.links.iter().any(|row| row.len() != d.decode.len())
+                {
+                    report.push(Diagnostic::deny(
+                        "disagg::link-shape",
+                        dctx,
+                        format!(
+                            "the link matrix is {}×{} but {} prefill × {} decode pods are \
+                             configured",
+                            d.links.len(),
+                            d.links.first().map_or(0, Vec::len),
+                            d.prefill.len(),
+                            d.decode.len()
+                        ),
+                        "provide one KvLink per prefill×decode pair \
+                         (DisaggregationConfig::uniform builds a uniform matrix)",
+                    ));
+                } else if d.links.iter().flatten().any(|l| {
+                    !l.latency_us.is_finite()
+                        || l.latency_us < 0.0
+                        || l.bandwidth_gbps.is_nan()
+                        || l.bandwidth_gbps <= 0.0
+                }) {
+                    report.push(Diagnostic::deny(
+                        "disagg::bad-link",
+                        dctx,
+                        "a KV link has a negative or non-finite latency, or a non-positive \
+                         bandwidth",
+                        "use finite latency_us >= 0 and bandwidth_gbps > 0",
+                    ));
+                }
+                for &slot in &d.decode {
+                    if slot < self.initial.len() && !capable(self.initial[slot].as_ref()) {
+                        report.push(Diagnostic::deny(
+                            "disagg::decode-cannot-hold-model",
+                            dctx,
+                            format!(
+                                "decode pod {slot} ({}) cannot hold the model it would decode \
+                                 for — every handoff to it would fail",
+                                self.initial[slot].describe()
+                            ),
+                            "give decode pods an engine/device pairing that fits the weights",
+                        ));
+                    }
+                }
+                for slot in 0..self.initial.len() {
+                    if !d.prefill.contains(&slot) && !d.decode.contains(&slot) {
+                        report.push(Diagnostic::warning(
+                            "disagg::unassigned-replica",
+                            dctx,
+                            format!(
+                                "initial replica {slot} has no pod role — it is commissioned \
+                                 but never receives traffic"
+                            ),
+                            "assign it a role or remove it from the fleet",
+                        ));
+                    }
+                }
+            }
+        }
+
         // SLO sanity: a p95-TTFT target below the *best single step* any
         // capable replica can execute is unachievable at any fleet size —
         // adding replicas never makes one step faster.
@@ -949,6 +1337,14 @@ impl FleetController {
                 });
             }
         }
+        // Disaggregation is active only when decode pods exist; a ratio-0
+        // config (empty decode set) takes the co-located code path below
+        // bit-for-bit (pinned by the `disagg_equivalence` suite).
+        let mut disagg: Option<Disagg> = self
+            .disagg
+            .take()
+            .filter(|d| !d.decode.is_empty())
+            .map(|cfg| Disagg::new(cfg, slots.len()));
         let mut events: Vec<ScaleEvent> = Vec::new();
         let mut unroutable: Vec<u64> = Vec::new();
         let mut failed_ids: Vec<u64> = Vec::new();
@@ -1041,6 +1437,19 @@ impl FleetController {
                             // Work the replica finished before the crash
                             // survives; everything in flight is ripped out.
                             slots[replica].driver.advance_to(at);
+                            if let Some(d) = disagg.as_mut() {
+                                // Prefill halves that finished before the
+                                // crash still hold their KV: hand them off
+                                // before the in-flight rip-out below.
+                                d.collect_handoffs(
+                                    replica,
+                                    &slots,
+                                    &mut queue,
+                                    self.sink.as_ref(),
+                                    &mut failed_ids,
+                                    at,
+                                );
+                            }
                             let (running, queued) = slots[replica].driver.take_inflight();
                             slots[replica].crashed = true;
                             slots[replica].retired_ms = Some(at);
@@ -1167,23 +1576,58 @@ impl FleetController {
                         for slot in slots.iter_mut() {
                             slot.driver.advance_to(at);
                         }
+                        if let Some(d) = disagg.as_mut() {
+                            // The bulk advance may have surfaced prefill
+                            // completions; start their transfers (landings
+                            // clamped to `at`).
+                            for i in 0..slots.len() {
+                                d.collect_handoffs(
+                                    i,
+                                    &slots,
+                                    &mut queue,
+                                    self.sink.as_ref(),
+                                    &mut failed_ids,
+                                    at,
+                                );
+                            }
+                        }
                         let mut readmitted = 0usize;
                         let mut failed = 0usize;
                         for request in lost {
-                            let moved = Request {
-                                arrival_ms: at,
-                                ..request
+                            let moved = match disagg.as_ref() {
+                                // Disaggregated survivors re-enter through a
+                                // prefill pod. A split request restarts as
+                                // its prefill half — the transferred KV died
+                                // with the pod, so the prompt recomputes and
+                                // hands off again when it finishes.
+                                Some(d) if d.originals.contains_key(&request.id) => Request {
+                                    arrival_ms: at,
+                                    output_len: 1,
+                                    ..request
+                                },
+                                _ => Request {
+                                    arrival_ms: at,
+                                    ..request
+                                },
                             };
                             eligible.clear();
-                            eligible.extend(
-                                slots
-                                    .iter()
-                                    .enumerate()
-                                    .filter(|(_, slot)| {
-                                        slot.routable() && slot.driver.can_ever_admit(&moved)
-                                    })
-                                    .map(|(i, _)| i),
-                            );
+                            match disagg.as_ref() {
+                                Some(d) => {
+                                    eligible.extend(d.cfg.prefill.iter().copied().filter(|&i| {
+                                        slots[i].routable()
+                                            && slots[i].driver.can_ever_admit(&moved)
+                                    }))
+                                }
+                                None => eligible.extend(
+                                    slots
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(_, slot)| {
+                                            slot.routable() && slot.driver.can_ever_admit(&moved)
+                                        })
+                                        .map(|(i, _)| i),
+                                ),
+                            }
                             match pick_replica(
                                 self.config.policy,
                                 &eligible,
@@ -1201,6 +1645,9 @@ impl FleetController {
                                     slots[target].driver.enqueue(moved);
                                     slots[target].assigned_ids.push(moved.id);
                                     slots[target].assigned_tokens += moved.total_tokens();
+                                    if let Some(d) = disagg.as_mut() {
+                                        d.arm_chain(&mut queue, &slots, target, at);
+                                    }
                                     readmitted += 1;
                                 }
                                 None => {
@@ -1222,13 +1669,15 @@ impl FleetController {
                                 failed,
                             });
                         }
-                        if !ticks && next_arrival >= trace.len() {
+                        if !ticks && next_arrival >= trace.len() && disagg.is_none() {
                             // No tick schedule and no arrivals left to
                             // restart the step chains: re-arm them for every
                             // replica that now holds work. (A replica with an
                             // already-live chain just drains through two
                             // interleaved chains — step_once is state-driven,
                             // so the duplicate is harmless and deterministic.)
+                            // Disaggregated runs skip this: their chains are
+                            // armed at every enqueue and tracked per slot.
                             for (i, slot) in slots.iter().enumerate() {
                                 if !slot.driver.is_drained() {
                                     queue.push(
@@ -1262,6 +1711,7 @@ impl FleetController {
                     let trace_done = next_arrival >= trace.len();
                     if trace_done
                         && pending_readmissions == 0
+                        && disagg.as_ref().is_none_or(|d| d.in_flight == 0)
                         && slots.iter().all(|s| s.driver.is_drained())
                     {
                         // The legacy drain loop stopped ticking here; drop
@@ -1279,6 +1729,21 @@ impl FleetController {
                         &mut queue,
                         self.sink.as_ref(),
                     );
+                    if let Some(d) = disagg.as_mut() {
+                        // The tick's bulk advance may have surfaced prefill
+                        // completions; start their transfers (landings
+                        // clamped to `t`).
+                        for i in 0..slots.len() {
+                            d.collect_handoffs(
+                                i,
+                                &slots,
+                                &mut queue,
+                                self.sink.as_ref(),
+                                &mut failed_ids,
+                                t,
+                            );
+                        }
+                    }
                     if trace_done {
                         drain_ticks += 1;
                         if drain_ticks >= self.config.max_drain_ticks
@@ -1307,46 +1772,98 @@ impl FleetController {
                             at_ms: request.arrival_ms,
                         });
                     }
-                    for slot in slots.iter_mut() {
-                        slot.driver.advance_to(request.arrival_ms);
-                    }
-
-                    // Capability-aware routing from live state: ready, not
-                    // draining, kernels support the model, and the memory
-                    // budget could ever admit the request.
-                    eligible.clear();
-                    eligible.extend(
-                        slots
-                            .iter()
-                            .enumerate()
-                            .filter(|(_, slot)| {
-                                slot.routable() && slot.driver.can_ever_admit(request)
-                            })
-                            .map(|(i, _)| i),
-                    );
-                    let picked =
-                        pick_replica(self.config.policy, &eligible, &slots, &mut rr_cursor);
-                    match picked {
-                        Some(target) => {
-                            if let Some(sink) = &self.sink {
-                                sink.emit(TraceEvent::Routed {
-                                    id: request.id,
-                                    replica: target,
-                                    at_ms: request.arrival_ms,
-                                });
+                    if let Some(d) = disagg.as_mut() {
+                        // Disaggregated routing: prefill pods only. The
+                        // prefill half runs the prompt and produces the
+                        // first output token (the final prefill forward);
+                        // the rest of the generation decodes elsewhere after
+                        // the KV handoff. Slots are not bulk-advanced here —
+                        // their step chains drive them, which is what lets
+                        // prefill completions surface at exact step
+                        // boundaries instead of at the next arrival.
+                        let sub = if request.output_len > 1 {
+                            Request {
+                                output_len: 1,
+                                ..*request
                             }
-                            slots[target].driver.enqueue(*request);
-                            slots[target].assigned_ids.push(request.id);
-                            slots[target].assigned_tokens += request.total_tokens();
+                        } else {
+                            *request
+                        };
+                        eligible.clear();
+                        eligible.extend(d.cfg.prefill.iter().copied().filter(|&i| {
+                            slots[i].routable() && slots[i].driver.can_ever_admit(&sub)
+                        }));
+                        let picked =
+                            pick_replica(self.config.policy, &eligible, &slots, &mut rr_cursor);
+                        match picked {
+                            Some(target) => {
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::Routed {
+                                        id: request.id,
+                                        replica: target,
+                                        at_ms: request.arrival_ms,
+                                    });
+                                }
+                                if request.output_len > 1 {
+                                    d.originals.insert(request.id, *request);
+                                }
+                                slots[target].driver.enqueue(sub);
+                                slots[target].assigned_ids.push(request.id);
+                                slots[target].assigned_tokens += request.total_tokens();
+                                d.arm_chain(&mut queue, &slots, target, request.arrival_ms);
+                            }
+                            None => {
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::Unroutable {
+                                        id: request.id,
+                                        at_ms: request.arrival_ms,
+                                    });
+                                }
+                                unroutable.push(request.id);
+                            }
                         }
-                        None => {
-                            if let Some(sink) = &self.sink {
-                                sink.emit(TraceEvent::Unroutable {
-                                    id: request.id,
-                                    at_ms: request.arrival_ms,
-                                });
+                    } else {
+                        for slot in slots.iter_mut() {
+                            slot.driver.advance_to(request.arrival_ms);
+                        }
+
+                        // Capability-aware routing from live state: ready,
+                        // not draining, kernels support the model, and the
+                        // memory budget could ever admit the request.
+                        eligible.clear();
+                        eligible.extend(
+                            slots
+                                .iter()
+                                .enumerate()
+                                .filter(|(_, slot)| {
+                                    slot.routable() && slot.driver.can_ever_admit(request)
+                                })
+                                .map(|(i, _)| i),
+                        );
+                        let picked =
+                            pick_replica(self.config.policy, &eligible, &slots, &mut rr_cursor);
+                        match picked {
+                            Some(target) => {
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::Routed {
+                                        id: request.id,
+                                        replica: target,
+                                        at_ms: request.arrival_ms,
+                                    });
+                                }
+                                slots[target].driver.enqueue(*request);
+                                slots[target].assigned_ids.push(request.id);
+                                slots[target].assigned_tokens += request.total_tokens();
                             }
-                            unroutable.push(request.id);
+                            None => {
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::Unroutable {
+                                        id: request.id,
+                                        at_ms: request.arrival_ms,
+                                    });
+                                }
+                                unroutable.push(request.id);
+                            }
                         }
                     }
 
@@ -1358,9 +1875,11 @@ impl FleetController {
                                 index: next_arrival,
                             },
                         );
-                    } else if !ticks {
+                    } else if !ticks && disagg.is_none() {
                         // No tick schedule to advance the fleet: drain each
-                        // replica one step completion at a time.
+                        // replica one step completion at a time. (A
+                        // disaggregated fleet is already chain-driven and
+                        // skips this.)
                         for (i, slot) in slots.iter().enumerate() {
                             if !slot.driver.is_drained() {
                                 queue.push(
@@ -1371,17 +1890,112 @@ impl FleetController {
                         }
                     }
                 }
+                FleetEvent::KvTransferComplete { transfer } => {
+                    let d = disagg
+                        .as_mut()
+                        .expect("transfer events exist only on disaggregated runs");
+                    let PendingTransfer {
+                        id,
+                        from,
+                        to,
+                        bytes,
+                    } = d.transfers[transfer];
+                    d.in_flight -= 1;
+                    let original = d.originals[&id];
+                    let remainder = Request {
+                        id,
+                        arrival_ms: at,
+                        prompt_len: original.prompt_len,
+                        output_len: original.output_len - 1,
+                    };
+                    if slots[to].routable() && slots[to].driver.can_ever_admit(&remainder) {
+                        if let Some(sink) = &self.sink {
+                            sink.emit(TraceEvent::KvTransferComplete {
+                                id,
+                                from,
+                                to,
+                                bytes,
+                                at_ms: at,
+                            });
+                        }
+                        slots[to].driver.enqueue_handoff(remainder);
+                        slots[to].assigned_ids.push(id);
+                        slots[to].assigned_tokens += remainder.total_tokens();
+                        d.arm_chain(&mut queue, &slots, to, at);
+                    } else if self.recovery.readmit {
+                        // The decode pod died (or went unroutable) while the
+                        // KV was on the wire. The prefix still lives on the
+                        // prefill pod, so re-transfer to another decode pod.
+                        match d.pick_decode_pod(&slots, &remainder) {
+                            Some(next) => {
+                                let row = d
+                                    .prefill_pos
+                                    .get(from)
+                                    .copied()
+                                    .flatten()
+                                    .expect("transfers originate on prefill pods");
+                                let col = d
+                                    .cfg
+                                    .decode
+                                    .iter()
+                                    .position(|&s| s == next)
+                                    .expect("pick_decode_pod returns configured pods");
+                                let link = d.cfg.links[row][col];
+                                if let Some(sink) = &self.sink {
+                                    sink.emit(TraceEvent::KvTransferStarted {
+                                        id,
+                                        from,
+                                        to: next,
+                                        bytes,
+                                        at_ms: at,
+                                    });
+                                }
+                                let retry = d.transfers.len();
+                                d.transfers.push(PendingTransfer {
+                                    id,
+                                    from,
+                                    to: next,
+                                    bytes,
+                                });
+                                d.in_flight += 1;
+                                queue.push(
+                                    at + link.transfer_ms(bytes),
+                                    FleetEvent::KvTransferComplete { transfer: retry },
+                                );
+                            }
+                            None => failed_ids.push(id),
+                        }
+                    } else {
+                        failed_ids.push(id);
+                    }
+                }
                 FleetEvent::StepCompletion { slot } => {
                     if slots[slot].driver.step_once() {
                         queue.push(
                             slots[slot].driver.clock_ms(),
                             FleetEvent::StepCompletion { slot },
                         );
+                    } else if let Some(d) = disagg.as_mut() {
+                        d.chain_died(slot);
+                    }
+                    if let Some(d) = disagg.as_mut() {
+                        d.collect_handoffs(
+                            slot,
+                            &slots,
+                            &mut queue,
+                            self.sink.as_ref(),
+                            &mut failed_ids,
+                            at,
+                        );
                     }
                 }
             }
         }
 
+        let ledger = disagg.map(|d| DisaggLedger {
+            originals: d.originals,
+            decode: d.cfg.decode,
+        });
         finalize(
             slots,
             events,
@@ -1391,6 +2005,7 @@ impl FleetController {
             peak_replicas,
             drain_incomplete,
             drain_incomplete_replicas,
+            ledger,
         )
     }
 }
@@ -1688,8 +2303,9 @@ fn finalize(
     peak_replicas: usize,
     drain_incomplete: bool,
     drain_incomplete_replicas: Vec<usize>,
+    ledger: Option<DisaggLedger>,
 ) -> FleetMetrics {
-    let records = slots
+    let records: Vec<ReplicaRecord> = slots
         .into_iter()
         .map(|slot| {
             let Slot {
@@ -1711,17 +2327,36 @@ fn finalize(
             }
         })
         .collect();
-    let mut metrics = aggregate(
-        peak_replicas,
-        records,
-        scale_events,
-        unroutable_ids,
-        drain_incomplete,
-    );
+    let mut metrics = match ledger {
+        Some(ledger) => aggregate_disaggregated(
+            peak_replicas,
+            records,
+            scale_events,
+            unroutable_ids,
+            drain_incomplete,
+            &ledger,
+        ),
+        None => aggregate(
+            peak_replicas,
+            records,
+            scale_events,
+            unroutable_ids,
+            drain_incomplete,
+        ),
+    };
     metrics.failed_ids = failed_ids;
     metrics.faults = faults;
     metrics.drain_incomplete_replicas = drain_incomplete_replicas;
     metrics
+}
+
+/// What [`aggregate_disaggregated`] needs to stitch split requests back
+/// together: the original request behind every split id, and which slots
+/// were decode pods (a split id counts as completed exactly when its
+/// remainder finished on one of them).
+struct DisaggLedger {
+    originals: BTreeMap<u64, Request>,
+    decode: Vec<usize>,
 }
 
 /// One replica's finished run plus its control-plane bookkeeping — the input
@@ -1773,6 +2408,115 @@ pub(crate) fn aggregate(
             assigned: record.assigned_ids.len(),
             assigned_ids: record.assigned_ids,
         });
+    }
+    FleetMetrics {
+        engine: per_replica
+            .first()
+            .map(|r| r.engine)
+            .unwrap_or(EngineKind::Samoyeds),
+        replicas,
+        completed,
+        rejected,
+        output_tokens_per_s: if makespan_ms > 0.0 {
+            output_tokens as f64 / (makespan_ms / 1e3)
+        } else {
+            0.0
+        },
+        request_latency: latency_summary(&latencies),
+        ttft: latency_summary(&ttfts),
+        tpot: latency_summary(&tpots),
+        makespan_ms,
+        per_replica,
+        scale_events,
+        unroutable_ids,
+        failed_ids: Vec::new(),
+        faults: Vec::new(),
+        drain_incomplete,
+        drain_incomplete_replicas: Vec::new(),
+    }
+}
+
+/// Pool per-replica results of a disaggregated run. Raw figures — output
+/// tokens, makespan, rejections, per-replica breakdowns — sum exactly as in
+/// [`aggregate`]; the pooled latency distributions instead stitch each split
+/// request's prefill half (arrival, admission, first token) to its decode
+/// half (completion) so a handoff counts once, end to end, rather than as
+/// two short requests. A split id with no decode-pod completion never
+/// finished (it died in a crash or a failed handoff) and is excluded — it is
+/// already on the failed ledger.
+fn aggregate_disaggregated(
+    replicas: usize,
+    records: Vec<ReplicaRecord>,
+    scale_events: Vec<ScaleEvent>,
+    unroutable_ids: Vec<u64>,
+    drain_incomplete: bool,
+    ledger: &DisaggLedger,
+) -> FleetMetrics {
+    let decode_pods: BTreeSet<usize> = ledger.decode.iter().copied().collect();
+    let mut per_replica = Vec::with_capacity(records.len());
+    let mut latencies = Vec::new();
+    let mut ttfts = Vec::new();
+    let mut tpots = Vec::new();
+    let mut completed = 0usize;
+    let mut rejected = unroutable_ids.len();
+    let mut output_tokens = 0usize;
+    let mut makespan_ms = 0.0f64;
+    // id → (earliest prefill-half admission, earliest prefill-half first
+    // token, decode-half completion). A crash can re-prefill a request, so
+    // the prefill side takes minima; at most one decode completion exists
+    // per id.
+    let mut halves: BTreeMap<u64, (f64, f64, Option<f64>)> = BTreeMap::new();
+    for (slot, record) in records.into_iter().enumerate() {
+        let result = &record.result;
+        rejected += result.rejected.len();
+        output_tokens += result.output_tokens();
+        makespan_ms = makespan_ms.max(result.makespan_ms);
+        for c in &result.completed {
+            if ledger.originals.contains_key(&c.request.id) {
+                let entry =
+                    halves
+                        .entry(c.request.id)
+                        .or_insert((f64::INFINITY, f64::INFINITY, None));
+                if decode_pods.contains(&slot) {
+                    entry.2 = Some(c.finished_ms);
+                } else {
+                    entry.0 = entry.0.min(c.admitted_ms);
+                    entry.1 = entry.1.min(c.first_token_ms);
+                }
+            } else {
+                completed += 1;
+                latencies.push(c.latency_ms());
+                ttfts.push(c.ttft_ms());
+                tpots.extend(c.tpot_ms());
+            }
+        }
+        per_replica.push(ReplicaBreakdown {
+            engine: result.engine,
+            metrics: ServingMetrics::from_result(result),
+            description: record.description,
+            spawned_ms: record.spawned_ms,
+            ready_ms: record.ready_ms,
+            retired_ms: record.retired_ms,
+            assigned: record.assigned_ids.len(),
+            assigned_ids: record.assigned_ids,
+        });
+    }
+    // BTreeMap iteration is ordered by id, so the stitched pool is
+    // deterministic without an explicit sort.
+    for (id, (admitted_ms, first_token_ms, finished)) in halves {
+        let (Some(finished_ms), true) = (finished, admitted_ms.is_finite()) else {
+            continue;
+        };
+        let stitched = CompletedRequest {
+            request: ledger.originals[&id],
+            admitted_ms,
+            first_token_ms,
+            finished_ms,
+        };
+        completed += 1;
+        latencies.push(stitched.latency_ms());
+        ttfts.push(stitched.ttft_ms());
+        tpots.extend(stitched.tpot_ms());
     }
     FleetMetrics {
         engine: per_replica
@@ -2452,5 +3196,206 @@ mod tests {
         assert_eq!(plain.makespan_ms, with_faults.makespan_ms);
         assert!(with_faults.faults.is_empty());
         assert!(with_faults.failed_ids.is_empty());
+    }
+
+    fn memory_model() -> MemoryModel {
+        MemoryModel::new(
+            &DeviceSpec::a100_40g(),
+            EngineKind::Samoyeds,
+            &MoeModelConfig::qwen2_moe(),
+        )
+    }
+
+    fn disagg_cfg(prefill: Vec<usize>, decode: Vec<usize>) -> DisaggregationConfig {
+        DisaggregationConfig::uniform(
+            prefill,
+            decode,
+            memory_model(),
+            KvLink {
+                latency_us: 5.0,
+                bandwidth_gbps: 50.0,
+            },
+        )
+    }
+
+    #[test]
+    fn disaggregated_requests_hand_off_and_complete_on_decode_pods() {
+        use crate::telemetry::{request_timelines, TraceRecorder};
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(24, 20.0);
+        let (sink, recorder) = SharedSink::new(TraceRecorder::new());
+        let memory = memory_model();
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_disaggregation(disagg_cfg(vec![0], vec![1]))
+            .with_sink(sink)
+            .run(&trace);
+        assert_eq!(metrics.completed, trace.len());
+        assert_eq!(metrics.rejected, 0);
+        assert!(metrics.failed_ids.is_empty());
+        let events = recorder.borrow().events();
+        let started: Vec<(u64, f64)> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::KvTransferStarted { id, bytes, .. } => Some((*id, *bytes)),
+                _ => None,
+            })
+            .collect();
+        let landed = events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::KvTransferComplete { .. }))
+            .count();
+        // Every multi-token request hands off exactly once, priced from the
+        // memory model's KV sizing of its prompt.
+        let multi = trace.iter().filter(|r| r.output_len > 1).count();
+        assert_eq!(started.len(), multi);
+        assert_eq!(landed, multi);
+        for &(id, bytes) in &started {
+            assert_eq!(bytes, memory.kv_bytes(trace[id as usize].prompt_len));
+        }
+        // Timelines merge both halves: full output on the decode pod with a
+        // positive transfer phase.
+        let timelines = request_timelines(&events);
+        assert_eq!(timelines.len(), trace.len());
+        for t in &timelines {
+            let original = &trace[t.id as usize];
+            assert_eq!(t.output_len, original.output_len);
+            if original.output_len > 1 {
+                assert_eq!(t.replica, 1, "handoffs finish on the decode pod");
+                assert!(t.transfer_ms > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn handoffs_route_to_the_decode_pod_with_the_most_kv_headroom() {
+        use crate::telemetry::TraceRecorder;
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(30, 40.0);
+        let (sink, recorder) = SharedSink::new(TraceRecorder::new());
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_disaggregation(disagg_cfg(vec![0], vec![1, 2]))
+            .with_sink(sink)
+            .run(&trace);
+        assert_eq!(metrics.completed, trace.len());
+        // Most-free-KV routing under a steady load alternates rather than
+        // piling every handoff on one pod: both decode pods take traffic.
+        let events = recorder.borrow().events();
+        let mut targets: Vec<usize> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::KvTransferStarted { to, .. } => Some(*to),
+                _ => None,
+            })
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        assert_eq!(targets, vec![1, 2], "both decode pods receive handoffs");
+    }
+
+    #[test]
+    fn disagg_validation_catches_bad_role_partitions() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(4, 10.0);
+        let two_pods = || {
+            FleetController::new(FleetConfig::default())
+                .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+                .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+        };
+        // Overlap: a replica cannot be both roles.
+        let report = two_pods()
+            .with_disaggregation(disagg_cfg(vec![0], vec![0]))
+            .validate(&trace);
+        assert!(
+            report.has("disagg::overlapping-roles"),
+            "{}",
+            report.render()
+        );
+        // Roles must bind to initial replicas.
+        let report = two_pods()
+            .with_disaggregation(disagg_cfg(vec![0], vec![5]))
+            .validate(&trace);
+        assert!(
+            report.has("disagg::role-out-of-range"),
+            "{}",
+            report.render()
+        );
+        // Decode pods without prefill pods can never admit anything.
+        let report = two_pods()
+            .with_disaggregation(disagg_cfg(vec![], vec![1]))
+            .validate(&trace);
+        assert!(report.has("disagg::empty-role"), "{}", report.render());
+        // The link matrix must cover every prefill×decode pair.
+        let mut cfg = disagg_cfg(vec![0], vec![1]);
+        cfg.links = Vec::new();
+        let report = two_pods().with_disaggregation(cfg).validate(&trace);
+        assert!(report.has("disagg::link-shape"), "{}", report.render());
+        // Link parameters must be physical.
+        let mut cfg = disagg_cfg(vec![0], vec![1]);
+        cfg.links[0][0].bandwidth_gbps = 0.0;
+        let report = two_pods().with_disaggregation(cfg).validate(&trace);
+        assert!(report.has("disagg::bad-link"), "{}", report.render());
+        // A dense engine on a 12 GiB card cannot hold qwen2_moe: naming it
+        // a decode pod is denied up front.
+        let report = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(
+                DeviceSpec::rtx4070_super(),
+                EngineKind::Transformers,
+                &scfg,
+            ))
+            .with_disaggregation(disagg_cfg(vec![0], vec![1]))
+            .validate(&trace);
+        assert!(
+            report.has("disagg::decode-cannot-hold-model"),
+            "{}",
+            report.render()
+        );
+        // Ratio 0 (no decode pods) and roleless replicas are warnings, not
+        // denials: the co-located fallback is legitimate.
+        let report = two_pods()
+            .with_disaggregation(disagg_cfg(vec![0], vec![]))
+            .validate(&trace);
+        assert!(report.has("disagg::no-decode-pods"), "{}", report.render());
+        assert_eq!(report.deny_count(), 0, "{}", report.render());
+        let report = two_pods()
+            .with_disaggregation(disagg_cfg(vec![0], vec![1]))
+            .validate(&trace);
+        assert_eq!(report.deny_count(), 0, "{}", report.render());
+    }
+
+    #[test]
+    fn a_decode_pod_crash_fails_or_reroutes_in_flight_handoffs() {
+        let scfg = SchedulerConfig::default();
+        let trace = steady_trace(24, 30.0);
+        // Fail-fast with the only decode pod crashed: in-flight handoffs
+        // fail, and every request is still accounted for exactly once.
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_disaggregation(disagg_cfg(vec![0], vec![1]))
+            .with_faults(crash_at(400.0, 1), RecoveryPolicy::fail_fast())
+            .run(&trace);
+        assert!(!metrics.failed_ids.is_empty(), "the crash caught handoffs");
+        assert_eq!(
+            metrics.completed + metrics.rejected + metrics.failed_ids.len(),
+            trace.len(),
+            "completed + rejected + failed covers the offered trace"
+        );
+        // With a second decode pod and readmission, the crashed pod's work
+        // re-routes instead: nothing is lost.
+        let metrics = FleetController::new(FleetConfig::default())
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_replica(single(DeviceSpec::a100_40g(), EngineKind::Samoyeds, &scfg))
+            .with_disaggregation(disagg_cfg(vec![0], vec![1, 2]))
+            .with_faults(crash_at(400.0, 1), RecoveryPolicy::readmit_after(25.0))
+            .run(&trace);
+        assert_eq!(metrics.completed, trace.len(), "{:?}", metrics.failed_ids);
+        assert!(metrics.failed_ids.is_empty());
     }
 }

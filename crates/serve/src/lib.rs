@@ -79,8 +79,9 @@ pub use dispatch::{dispatch_trace, DispatchPolicy, ReplicaFleet};
 pub use events::{EventQueue, FleetEvent};
 pub use faults::{FaultKind, FaultRecord, FaultSchedule, FaultSpec, RecoveryPolicy, SeededFaults};
 pub use fleet::{
-    AutoscalePolicy, FleetConfig, FleetController, FleetMetrics, FleetObservation, NoAutoscale,
-    ReplicaBreakdown, ScaleDecision, ScaleEvent, ScaleKind, SloAutoscaler,
+    AutoscalePolicy, DisaggregationConfig, FleetConfig, FleetController, FleetMetrics,
+    FleetObservation, KvLink, NoAutoscale, ReplicaBreakdown, ScaleDecision, ScaleEvent, ScaleKind,
+    SloAutoscaler,
 };
 pub use memory::{MemoryModel, KV_DTYPE_BYTES};
 pub use metrics::{latency_summary, LatencySummary, ServingMetrics};

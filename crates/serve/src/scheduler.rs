@@ -9,7 +9,7 @@
 //! collectives for a cluster). All randomness (routing) is seeded inside the
 //! backend, so a simulation is a pure function of its inputs.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeSet, VecDeque};
 
 use crate::backend::{ExecutionBackend, MemoryBudget, SingleGpuBackend, StepWorkload};
 use crate::batch::{build_step, BatchLimits};
@@ -227,6 +227,13 @@ pub struct ReplicaDriver<B: ExecutionBackend> {
     /// O(1) is what lets a fleet dispatcher consult the live load of every
     /// replica at every arrival without rescanning queues.
     outstanding: usize,
+    /// Requests handed over with their prompt KV already materialized (a
+    /// disaggregated prefill→decode handoff): admission skips chunked
+    /// prefill for them and they decode from their first step. Their
+    /// outstanding credit is `output_len` only — the prompt work was done
+    /// elsewhere — while the KV reservation still charges the full
+    /// prompt+output length (the transferred cache occupies real budget).
+    prefilled_ids: BTreeSet<u64>,
     clock_ms: f64,
     step_index: u64,
     result: SimulationResult,
@@ -270,6 +277,7 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
             running: Vec::new(),
             reserved_tokens: 0,
             outstanding: 0,
+            prefilled_ids: BTreeSet::new(),
             clock_ms: 0.0,
             step_index: 0,
             result,
@@ -304,6 +312,28 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
             "requests must be enqueued in arrival order"
         );
         self.outstanding += request.total_tokens();
+        self.queue.push_back(request);
+    }
+
+    /// Hand the driver a request whose prompt KV already exists locally —
+    /// the receiving end of a disaggregated prefill→decode handoff. The
+    /// request is admitted like any other (FCFS, against its *full*
+    /// prompt+output KV reservation: the transferred cache occupies real
+    /// budget) but starts directly in its decode phase, so only its
+    /// `output_len` counts as outstanding work.
+    pub fn enqueue_handoff(&mut self, request: Request) {
+        if !self.result.supported {
+            self.result.rejected.push(request);
+            return;
+        }
+        debug_assert!(
+            self.queue
+                .back()
+                .is_none_or(|back| back.arrival_ms <= request.arrival_ms),
+            "requests must be enqueued in arrival order"
+        );
+        self.prefilled_ids.insert(request.id);
+        self.outstanding += request.output_len;
         self.queue.push_back(request);
     }
 
@@ -361,6 +391,17 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
     /// Completed requests so far, in completion order.
     pub fn completed(&self) -> &[CompletedRequest] {
         &self.result.completed
+    }
+
+    /// KV budget bytes left after every admitted and queued request's full
+    /// final-length reservation — the headroom signal a disaggregated
+    /// dispatcher ranks decode pods by when placing a handoff. Counting the
+    /// queue (not just admitted reservations) keeps the signal honest while
+    /// a transfer burst is still waiting for admission.
+    pub fn kv_headroom_bytes(&self) -> f64 {
+        let committed: usize =
+            self.reserved_tokens + self.queue.iter().map(Request::total_tokens).sum::<usize>();
+        self.backend.memory().budget_bytes() - self.backend.memory().footprint_bytes(committed, 0)
     }
 
     /// Executed steps so far.
@@ -484,12 +525,23 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
                         at_ms: self.clock_ms,
                     });
                 }
-                self.running
-                    .push(RunningRequest::new(request, self.clock_ms));
+                let mut running = RunningRequest::new(request, self.clock_ms);
+                if self.prefilled_ids.remove(&request.id) {
+                    // Handoff: the prompt KV arrived with the request, so it
+                    // starts its decode phase immediately.
+                    running.prefilled = request.prompt_len;
+                }
+                self.running.push(running);
             } else if self.running.is_empty() {
                 // Even an empty system cannot hold this request.
                 let rejected = self.queue.pop_front().expect("front exists");
-                self.outstanding -= rejected.total_tokens();
+                // Debit exactly what enqueue credited: a handoff only owed
+                // its output tokens.
+                self.outstanding -= if self.prefilled_ids.remove(&rejected.id) {
+                    rejected.output_len
+                } else {
+                    rejected.total_tokens()
+                };
                 if let Some(sink) = &self.sink {
                     sink.emit(TraceEvent::Rejected {
                         id: rejected.id,
@@ -639,6 +691,8 @@ impl<B: ExecutionBackend> ReplicaDriver<B> {
         let queued: Vec<Request> = self.queue.drain(..).collect();
         self.reserved_tokens = 0;
         self.outstanding = 0;
+        // Any transferred KV died with the replica: survivors re-prefill.
+        self.prefilled_ids.clear();
         (running, queued)
     }
 
@@ -753,6 +807,34 @@ mod tests {
         let result = d.finish();
         assert_eq!(result.completed.len(), completed_before);
         assert!(result.rejected.is_empty());
+    }
+
+    #[test]
+    fn a_handoff_request_skips_prefill_and_decodes_from_its_first_step() {
+        let mut d = driver();
+        let request = Request {
+            id: 7,
+            arrival_ms: 0.0,
+            prompt_len: 256,
+            output_len: 8,
+        };
+        d.enqueue_handoff(request);
+        assert_eq!(
+            d.outstanding_tokens(),
+            request.output_len,
+            "a handoff only owes its decode tokens"
+        );
+        d.advance_to(f64::INFINITY);
+        assert_eq!(d.outstanding_tokens(), 0);
+        let result = d.finish();
+        assert_eq!(result.completed.len(), 1);
+        assert_eq!(result.completed[0].request.output_len, 8);
+        // No prefill chunk ever ran: every step decoded exactly one token.
+        assert_eq!(result.steps.len(), 8);
+        assert!(result
+            .steps
+            .iter()
+            .all(|s| s.prefill_tokens == 0 && s.decode_tokens == 1));
     }
 
     #[test]

@@ -28,7 +28,9 @@
 //!   replica with a span per engine step and instants for scale / drain /
 //!   warm-up events, loadable in `chrome://tracing` or Perfetto.
 //! * [`RequestTimeline`] — per-request TTFT/TPOT attribution (queue wait +
-//!   prefill + decode sums exactly to the end-to-end latency).
+//!   prefill + KV transfer + decode sums exactly to the end-to-end latency;
+//!   the transfer phase is zero for co-located requests and spans the
+//!   prefill→decode handoff for disaggregated ones).
 //!
 //! [`FleetController`]: crate::fleet::FleetController
 //! [`Scheduler`]: crate::scheduler::Scheduler
@@ -256,6 +258,33 @@ pub enum TraceEvent {
         /// Requests no survivor could ever admit.
         failed: usize,
     },
+    /// A prefill→decode KV-cache handoff left its prefill pod (disaggregated
+    /// fleets only).
+    KvTransferStarted {
+        /// Request id.
+        id: u64,
+        /// Source prefill pod slot.
+        from: usize,
+        /// Target decode pod slot, committed at transfer start.
+        to: usize,
+        /// Transferred KV bytes (`MemoryModel::kv_bytes(prompt_len)`).
+        bytes: f64,
+        /// Transfer start time (the prefill half's completion).
+        at_ms: f64,
+    },
+    /// A prefill→decode KV-cache handoff landed on its decode pod.
+    KvTransferComplete {
+        /// Request id.
+        id: u64,
+        /// Source prefill pod slot.
+        from: usize,
+        /// Target decode pod slot.
+        to: usize,
+        /// Transferred KV bytes.
+        bytes: f64,
+        /// Landing time (start + the link's transfer time).
+        at_ms: f64,
+    },
 }
 
 impl TraceEvent {
@@ -280,7 +309,9 @@ impl TraceEvent {
             | TraceEvent::IslandPartitioned { at_ms, .. }
             | TraceEvent::LinkRestored { at_ms, .. }
             | TraceEvent::RecoveryStarted { at_ms, .. }
-            | TraceEvent::RecoveryComplete { at_ms, .. } => at_ms,
+            | TraceEvent::RecoveryComplete { at_ms, .. }
+            | TraceEvent::KvTransferStarted { at_ms, .. }
+            | TraceEvent::KvTransferComplete { at_ms, .. } => at_ms,
             TraceEvent::Step { start_ms, .. } => start_ms,
             TraceEvent::Completed { finished_ms, .. } => finished_ms,
         }
@@ -304,6 +335,10 @@ impl TraceEvent {
             | TraceEvent::LinkRestored { replica, .. }
             | TraceEvent::RecoveryStarted { replica, .. }
             | TraceEvent::RecoveryComplete { replica, .. } => Some(replica),
+            // A transfer belongs to the pod doing the work at that instant:
+            // the source while it starts, the target once it lands.
+            TraceEvent::KvTransferStarted { from, .. } => Some(from),
+            TraceEvent::KvTransferComplete { to, .. } => Some(to),
             _ => None,
         }
     }
@@ -689,6 +724,11 @@ pub struct MetricsRegistry {
     pub readmitted: u64,
     /// Requests failed by crashes (fail-fast, or unroutable on recovery).
     pub failed_requests: u64,
+    /// KV-cache handoffs started (disaggregated fleets; retries count).
+    pub kv_transfers: u64,
+    /// Total KV bytes put on the wire by started handoffs (f64 because the
+    /// per-request sizes come from `MemoryModel::kv_bytes`).
+    pub kv_transfer_bytes: f64,
     /// Step duration distribution, ms.
     pub step_ms: LogLinearHistogram,
     /// Step collective-time distribution, ms.
@@ -738,6 +778,7 @@ impl MetricsRegistry {
             ("recoveries", self.recoveries),
             ("readmitted", self.readmitted),
             ("failed_requests", self.failed_requests),
+            ("kv_transfers", self.kv_transfers),
         ]
     }
 }
@@ -835,25 +876,35 @@ impl TraceSink for MetricsRegistry {
                 self.readmitted += readmitted as u64;
                 self.failed_requests += failed as u64;
             }
+            TraceEvent::KvTransferStarted { bytes, .. } => {
+                self.kv_transfers += 1;
+                self.kv_transfer_bytes += bytes;
+            }
             TraceEvent::WarmupComplete { .. }
             | TraceEvent::DrainStarted { .. }
             | TraceEvent::LinkRestored { .. }
-            | TraceEvent::RecoveryStarted { .. } => {}
+            | TraceEvent::RecoveryStarted { .. }
+            // Landings carry no new volume: the transfer was counted when it
+            // left the prefill pod.
+            | TraceEvent::KvTransferComplete { .. } => {}
         }
     }
 }
 
 /// Per-request latency attribution, reconstructed from the event stream.
 ///
-/// The three phases partition the end-to-end latency exactly:
-/// `queue_ms + prefill_ms + decode_ms == latency_ms` (each phase is a
-/// difference of adjacent timestamps, so the telescoping sum is exact up to
-/// float rounding — the equivalence suite checks the tolerance).
+/// The phases partition the end-to-end latency exactly:
+/// `queue_ms + prefill_ms + transfer_ms + decode_ms == latency_ms` (each
+/// phase is a difference of adjacent timestamps, so the telescoping sum is
+/// exact up to float rounding — the equivalence suite checks the tolerance).
+/// Co-located requests have `transfer_ms == 0`, collapsing to the classic
+/// three-phase split.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RequestTimeline {
     /// Request id.
     pub id: u64,
-    /// Serving replica slot.
+    /// Serving replica slot (for a disaggregated handoff, the decode pod
+    /// that finished the request).
     pub replica: usize,
     /// Arrival time.
     pub arrival_ms: f64,
@@ -865,6 +916,9 @@ pub struct RequestTimeline {
     pub finished_ms: f64,
     /// Output tokens generated.
     pub output_len: usize,
+    /// KV-handoff window: first transfer departure to last transfer landing
+    /// (zero for co-located requests).
+    pub transfer_ms: f64,
 }
 
 impl RequestTimeline {
@@ -879,9 +933,10 @@ impl RequestTimeline {
         self.first_token_ms - self.admitted_ms
     }
 
-    /// Time from the first to the last output token (the decode phase).
+    /// Time from the first to the last output token, excluding any KV
+    /// handoff in between (the decode phase).
     pub fn decode_ms(&self) -> f64 {
-        self.finished_ms - self.first_token_ms
+        self.finished_ms - self.first_token_ms - self.transfer_ms
     }
 
     /// End-to-end latency.
@@ -906,12 +961,25 @@ impl RequestTimeline {
 }
 
 /// Reconstruct every completed request's timeline from an event stream, in
-/// completion order. Streams truncated by a bounded ring yield only the
-/// completions the ring retained.
+/// first-completion order. Streams truncated by a bounded ring yield only
+/// the completions the ring retained.
+///
+/// A disaggregated handoff completes twice — once on its prefill pod and
+/// once on its decode pod — and those halves merge into one timeline: the
+/// earliest arrival/admission/first-token, the latest finish, the finishing
+/// replica, the summed output length, and a `transfer_ms` spanning the first
+/// [`TraceEvent::KvTransferStarted`] to the last
+/// [`TraceEvent::KvTransferComplete`] for the id (so retries and re-routed
+/// transfers are charged to the handoff, not to decode). Co-located streams
+/// have one `Completed` per id and no transfer events, so their timelines
+/// are exactly the classic per-event ones.
 pub fn request_timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
-    events
-        .iter()
-        .filter_map(|e| match *e {
+    let mut order: Vec<RequestTimeline> = Vec::new();
+    let mut index: std::collections::BTreeMap<u64, usize> = std::collections::BTreeMap::new();
+    let mut bounds: std::collections::BTreeMap<u64, (Option<f64>, Option<f64>)> =
+        std::collections::BTreeMap::new();
+    for e in events {
+        match *e {
             TraceEvent::Completed {
                 id,
                 replica,
@@ -920,18 +988,51 @@ pub fn request_timelines(events: &[TraceEvent]) -> Vec<RequestTimeline> {
                 first_token_ms,
                 finished_ms,
                 output_len,
-            } => Some(RequestTimeline {
-                id,
-                replica,
-                arrival_ms,
-                admitted_ms,
-                first_token_ms,
-                finished_ms,
-                output_len,
-            }),
-            _ => None,
-        })
-        .collect()
+            } => match index.get(&id) {
+                Some(&i) => {
+                    let t = &mut order[i];
+                    t.arrival_ms = t.arrival_ms.min(arrival_ms);
+                    t.admitted_ms = t.admitted_ms.min(admitted_ms);
+                    t.first_token_ms = t.first_token_ms.min(first_token_ms);
+                    t.finished_ms = t.finished_ms.max(finished_ms);
+                    // The later half finished the request; it owns the slot.
+                    t.replica = replica;
+                    t.output_len += output_len;
+                }
+                None => {
+                    index.insert(id, order.len());
+                    order.push(RequestTimeline {
+                        id,
+                        replica,
+                        arrival_ms,
+                        admitted_ms,
+                        first_token_ms,
+                        finished_ms,
+                        output_len,
+                        transfer_ms: 0.0,
+                    });
+                }
+            },
+            TraceEvent::KvTransferStarted { id, at_ms, .. } => {
+                let b = bounds.entry(id).or_insert((None, None));
+                if b.0.is_none() {
+                    b.0 = Some(at_ms);
+                }
+            }
+            TraceEvent::KvTransferComplete { id, at_ms, .. } => {
+                bounds.entry(id).or_insert((None, None)).1 = Some(at_ms);
+            }
+            _ => {}
+        }
+    }
+    for t in &mut order {
+        // A transfer that started but never landed (the request failed on
+        // the wire) leaves the prefill half's timeline transfer-free.
+        if let Some(&(Some(start), Some(end))) = bounds.get(&t.id) {
+            t.transfer_ms = end - start;
+        }
+    }
+    order
 }
 
 /// Aggregate attribution over a set of [`RequestTimeline`]s: how much of the
@@ -944,6 +1045,8 @@ pub struct AttributionSummary {
     pub queue: LatencySummary,
     /// Prefill-phase distribution, ms.
     pub prefill: LatencySummary,
+    /// KV-handoff (prefill→decode transfer) distribution, ms.
+    pub transfer: LatencySummary,
     /// Decode-phase distribution, ms.
     pub decode: LatencySummary,
     /// End-to-end latency distribution, ms.
@@ -959,6 +1062,7 @@ impl AttributionSummary {
             requests: timelines.len(),
             queue: latency_summary(&collect(RequestTimeline::queue_ms)),
             prefill: latency_summary(&collect(RequestTimeline::prefill_ms)),
+            transfer: latency_summary(&collect(|t: &RequestTimeline| t.transfer_ms)),
             decode: latency_summary(&collect(RequestTimeline::decode_ms)),
             latency: latency_summary(&collect(RequestTimeline::latency_ms)),
         }
@@ -977,6 +1081,7 @@ impl AttributionSummary {
             "|---|---|---|---|---|".to_string(),
             row("queue wait", &self.queue),
             row("prefill", &self.prefill),
+            row("kv transfer", &self.transfer),
             row("decode", &self.decode),
             row("end-to-end", &self.latency),
         ]
@@ -1222,6 +1327,30 @@ pub fn chrome_trace_json(events: &[TraceEvent], replica_names: &[String]) -> Str
                 at_ms,
                 format!("\"readmitted\":{readmitted},\"failed\":{failed}"),
             )),
+            TraceEvent::KvTransferStarted {
+                id,
+                from,
+                to,
+                bytes,
+                at_ms,
+            } => rows.push(instant(
+                "kv transfer started",
+                from + 1,
+                at_ms,
+                format!("\"id\":{id},\"to\":{to},\"bytes\":{}", json_num(bytes)),
+            )),
+            TraceEvent::KvTransferComplete {
+                id,
+                from,
+                to,
+                bytes,
+                at_ms,
+            } => rows.push(instant(
+                "kv transfer complete",
+                to + 1,
+                at_ms,
+                format!("\"id\":{id},\"from\":{from},\"bytes\":{}", json_num(bytes)),
+            )),
             // Routing, completion and tick gauges stay out of the visual
             // trace: routing duplicates admission, completions duplicate the
             // final step span, and tick gauges belong to the registry's time
@@ -1406,7 +1535,8 @@ mod tests {
         let timelines = request_timelines(&events);
         assert_eq!(timelines.len(), 2);
         for t in &timelines {
-            let sum = t.queue_ms() + t.prefill_ms() + t.decode_ms();
+            assert_eq!(t.transfer_ms, 0.0, "co-located timelines carry no transfer");
+            let sum = t.queue_ms() + t.prefill_ms() + t.transfer_ms + t.decode_ms();
             assert!((sum - t.latency_ms()).abs() < 1e-9);
             assert_eq!(t.ttft_ms(), t.queue_ms() + t.prefill_ms());
             let tpot = t.tpot_ms().expect("13 output tokens have gaps");
@@ -1419,7 +1549,7 @@ mod tests {
         assert_eq!(summary.decode.mean_ms, 60.0);
         assert_eq!(summary.latency.mean_ms, 95.0);
         let rows = summary.render_markdown();
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 7);
         assert!(rows[2].contains("queue wait"));
         // Single-token outputs have no TPOT.
         let single = RequestTimeline {
@@ -1427,6 +1557,69 @@ mod tests {
             ..timelines[0]
         };
         assert_eq!(single.tpot_ms(), None);
+    }
+
+    #[test]
+    fn a_handoff_merges_into_one_timeline_with_a_transfer_phase() {
+        // Prefill half on pod 0 (one output token at 30), KV handoff 30→42,
+        // decode half on pod 2 finishing the remaining 12 tokens at 90.
+        let events = vec![
+            TraceEvent::Completed {
+                id: 9,
+                replica: 0,
+                arrival_ms: 0.0,
+                admitted_ms: 5.0,
+                first_token_ms: 30.0,
+                finished_ms: 30.0,
+                output_len: 1,
+            },
+            TraceEvent::KvTransferStarted {
+                id: 9,
+                from: 0,
+                to: 2,
+                bytes: 4096.0,
+                at_ms: 30.0,
+            },
+            TraceEvent::KvTransferComplete {
+                id: 9,
+                from: 0,
+                to: 2,
+                bytes: 4096.0,
+                at_ms: 42.0,
+            },
+            TraceEvent::Completed {
+                id: 9,
+                replica: 2,
+                arrival_ms: 42.0,
+                admitted_ms: 44.0,
+                first_token_ms: 46.0,
+                finished_ms: 90.0,
+                output_len: 12,
+            },
+        ];
+        let timelines = request_timelines(&events);
+        assert_eq!(timelines.len(), 1, "both halves merge into one timeline");
+        let t = timelines[0];
+        assert_eq!(t.replica, 2, "the decode pod finished the request");
+        assert_eq!(t.output_len, 13);
+        assert_eq!(t.transfer_ms, 12.0);
+        assert_eq!(t.first_token_ms, 30.0);
+        assert_eq!(t.finished_ms, 90.0);
+        let sum = t.queue_ms() + t.prefill_ms() + t.transfer_ms + t.decode_ms();
+        assert!((sum - t.latency_ms()).abs() < 1e-9);
+        // The registry counts wire traffic once, at departure.
+        let mut reg = MetricsRegistry::new();
+        for e in &events {
+            reg.record(*e);
+        }
+        assert_eq!(reg.kv_transfers, 1);
+        assert!((reg.kv_transfer_bytes - 4096.0).abs() < 1e-9);
+        assert!(reg.counters().contains(&("kv_transfers", 1)));
+        // Both endpoints export as instants on the pods doing the work.
+        let json = chrome_trace_json(&events, &[]);
+        assert!(json.contains("\"kv transfer started\""));
+        assert!(json.contains("\"kv transfer complete\""));
+        assert!(json.contains("\"bytes\":4096"));
     }
 
     #[test]

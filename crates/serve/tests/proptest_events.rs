@@ -10,20 +10,22 @@ use samoyeds_serve::{EventQueue, FleetEvent};
 
 /// The public ordering class (mirrors the queue's internal tie-break: see
 /// `FleetEvent::class` — warm-ups, then retirements, then faults and their
-/// recoveries, then ticks, then arrivals, then step completions).
+/// recoveries, then KV-transfer landings, then ticks, then arrivals, then
+/// step completions).
 fn class(event: &FleetEvent) -> u8 {
     match event {
         FleetEvent::WarmupComplete { .. } => 0,
         FleetEvent::DrainRetire { .. } => 1,
         FleetEvent::Fault { .. } => 2,
         FleetEvent::FaultRecovery { .. } => 3,
-        FleetEvent::ControlTick { .. } => 4,
-        FleetEvent::Arrival { .. } => 5,
-        FleetEvent::StepCompletion { .. } => 6,
+        FleetEvent::KvTransferComplete { .. } => 4,
+        FleetEvent::ControlTick { .. } => 5,
+        FleetEvent::Arrival { .. } => 6,
+        FleetEvent::StepCompletion { .. } => 7,
     }
 }
 
-const NUM_CLASSES: u8 = 7;
+const NUM_CLASSES: u8 = 8;
 
 fn arb_event() -> impl Strategy<Value = FleetEvent> {
     (0u8..NUM_CLASSES, 0usize..64).prop_map(|(kind, idx)| match kind {
@@ -31,10 +33,11 @@ fn arb_event() -> impl Strategy<Value = FleetEvent> {
         1 => FleetEvent::DrainRetire { slot: idx % 8 },
         2 => FleetEvent::Fault { index: idx % 8 },
         3 => FleetEvent::FaultRecovery { index: idx % 8 },
-        4 => FleetEvent::ControlTick {
+        4 => FleetEvent::KvTransferComplete { transfer: idx },
+        5 => FleetEvent::ControlTick {
             index: 1 + (idx as u64) % 16,
         },
-        5 => FleetEvent::Arrival { index: idx },
+        6 => FleetEvent::Arrival { index: idx },
         _ => FleetEvent::StepCompletion { slot: idx % 8 },
     })
 }

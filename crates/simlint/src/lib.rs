@@ -22,6 +22,12 @@
 //! * `hot-unwrap` — no `.unwrap()` in the `serve::events` /
 //!   `serve::faults` hot paths: a poisoned queue should surface as a
 //!   diagnostic, not a panic mid-sweep.
+//! * `event-order` — the `FleetEvent` same-instant class table in
+//!   `serve::events` must match the canonical order this crate embeds
+//!   (warm-ups before retirements before faults before recoveries before
+//!   KV-transfer landings before control ticks before arrivals before step
+//!   completions): a reshuffled or unregistered class arm silently
+//!   reorders same-instant events and breaks bit-for-bit replay.
 //!
 //! Intentional violations are waived in place with an escape comment that
 //! must carry a reason:
@@ -66,6 +72,28 @@ pub const RULE_UNSEEDED_RNG: &str = "unseeded-rng";
 pub const RULE_FLOAT_EQ: &str = "float-eq";
 /// Rule id: `.unwrap()` in the `serve::events` / `serve::faults` hot paths.
 pub const RULE_HOT_UNWRAP: &str = "hot-unwrap";
+/// Rule id: a `FleetEvent` class arm in `serve::events` disagreeing with
+/// the canonical same-instant ordering table ([`EVENT_ORDER`]).
+pub const RULE_EVENT_ORDER: &str = "event-order";
+
+/// The canonical same-instant ordering of `FleetEvent` classes: at one
+/// timestamp, warm-ups land before retirements, before faults, before
+/// recoveries, before KV-transfer landings, before control ticks, before
+/// arrivals, before step completions. `serve::events::FleetEvent::class`
+/// must map each variant to exactly this value; the `event-order` rule
+/// flags any arm that drifts, and a new variant must be registered here —
+/// consciously choosing its slot in the hierarchy — before the linter
+/// passes.
+pub const EVENT_ORDER: &[(&str, u64)] = &[
+    ("WarmupComplete", 0),
+    ("DrainRetire", 1),
+    ("Fault", 2),
+    ("FaultRecovery", 3),
+    ("KvTransferComplete", 4),
+    ("ControlTick", 5),
+    ("Arrival", 6),
+    ("StepCompletion", 7),
+];
 /// Meta rule id: a `simlint::allow` escape missing its `: reason` tail.
 pub const RULE_ALLOW_WITHOUT_REASON: &str = "allow-without-reason";
 /// Meta rule id: a `simlint::allow` escape naming a rule that does not
@@ -119,6 +147,14 @@ const RULES: &[Rule] = &[
                     panic mid-sweep; handle the None/Err arm explicitly",
     },
     Rule {
+        id: RULE_EVENT_ORDER,
+        summary: "FleetEvent class arm disagrees with the canonical same-instant order",
+        rationale: "same-instant events drain in class order; an arm that drifts from the \
+                    canonical table (or a variant the table does not know) silently \
+                    reorders coincident events and breaks bit-for-bit replay — register \
+                    the variant's slot in simlint's EVENT_ORDER table",
+    },
+    Rule {
         id: RULE_ALLOW_WITHOUT_REASON,
         summary: "simlint::allow escape without a reason",
         rationale: "waivers must document why the violation is intentional: \
@@ -132,7 +168,7 @@ const RULES: &[Rule] = &[
     },
 ];
 
-/// The full rule table, in stable order (the five source rules first, then
+/// The full rule table, in stable order (the six source rules first, then
 /// the two meta rules governing the escape comments themselves).
 pub fn rules() -> &'static [Rule] {
     RULES
@@ -230,8 +266,38 @@ pub fn scan_file(path: &str, content: &str) -> Vec<Lint> {
         });
     };
 
+    // The event-order rule is scoped to the one file owning the class
+    // table; every `FleetEvent::<Variant> … => <int>` arm there must agree
+    // with the canonical EVENT_ORDER slots.
+    let event_order_applies = path_norm.ends_with("crates/serve/src/events.rs");
+
     for (idx, line_text) in masked.lines().enumerate() {
         let line = idx + 1;
+        if event_order_applies {
+            if let Some((variant, class)) = event_class_arm(line_text) {
+                match EVENT_ORDER.iter().find(|(v, _)| *v == variant) {
+                    Some(&(_, want)) if want == class => {}
+                    Some(&(_, want)) => lints.push(Lint {
+                        file: path.to_string(),
+                        line,
+                        rule: RULE_EVENT_ORDER,
+                        message: format!(
+                            "FleetEvent::{variant} maps to same-instant class {class}, but \
+                             the canonical order pins it to {want}"
+                        ),
+                    }),
+                    None => lints.push(Lint {
+                        file: path.to_string(),
+                        line,
+                        rule: RULE_EVENT_ORDER,
+                        message: format!(
+                            "FleetEvent::{variant} is not in simlint's canonical \
+                             same-instant order table; register its slot in EVENT_ORDER"
+                        ),
+                    }),
+                }
+            }
+        }
         let toks = tokenize_line(line_text);
         for (t, tok) in toks.iter().enumerate() {
             match tok {
@@ -579,6 +645,31 @@ fn parse_allows(text: &str, line: usize, allows: &mut Vec<Allow>) {
     });
 }
 
+/// Parse a `FleetEvent::<Variant> … => <int>` match arm from one masked
+/// line, returning the variant name and the integer class it maps to.
+/// Only arms whose right-hand side starts with an integer literal match —
+/// construction sites (`FleetEvent::Arrival { request }`) and non-numeric
+/// arms are not class-table entries and are ignored.
+fn event_class_arm(line: &str) -> Option<(&str, u64)> {
+    let rest = line.split_once("FleetEvent")?.1;
+    let rest = rest.trim_start().strip_prefix("::")?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_alphanumeric() || c == '_'))
+        .unwrap_or(rest.len());
+    let variant = &rest[..end];
+    if variant.is_empty() {
+        return None;
+    }
+    let after_arrow = rest[end..].split_once("=>")?.1.trim_start();
+    let digits: &str = &after_arrow[..after_arrow
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(after_arrow.len())];
+    if digits.is_empty() {
+        return None;
+    }
+    Some((variant, digits.parse().ok()?))
+}
+
 fn is_op(tok: Option<&Tok>, op: &str) -> bool {
     matches!(tok, Some(Tok::Op(o)) if o == op)
 }
@@ -721,6 +812,48 @@ mod tests {
         let src = "let t = std::time::Instant::now();\n";
         assert!(scan_file("crates/bench/src/bin/experiments.rs", src).is_empty());
         assert_eq!(scan_file("crates/bench/src/experiments.rs", src).len(), 1);
+    }
+
+    #[test]
+    fn event_order_pins_the_class_table_to_the_canonical_slots() {
+        // A faithful arm is clean; scheduling sites that construct events
+        // (no integer RHS) are ignored.
+        let good = "FleetEvent::KvTransferComplete { .. } => 4,\n\
+                    queue.push(at, FleetEvent::KvTransferComplete { transfer });\n";
+        assert!(scan_file("crates/serve/src/events.rs", good).is_empty());
+        // A drifted arm and an unregistered variant both flag.
+        for bad in [
+            "FleetEvent::KvTransferComplete { .. } => 5,\n",
+            "FleetEvent::Unscheduled { .. } => 9,\n",
+        ] {
+            let lints = scan_file("crates/serve/src/events.rs", bad);
+            assert_eq!(lints.len(), 1, "{bad}");
+            assert_eq!(lints[0].rule, RULE_EVENT_ORDER);
+        }
+        // The rule is scoped to the file owning the class table.
+        assert!(scan_file(
+            "crates/serve/src/fleet.rs",
+            "FleetEvent::KvTransferComplete { .. } => 5,\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn event_order_table_covers_every_class_arm_in_the_real_file() {
+        // The canonical table and the real `class()` match must stay in
+        // lockstep: every variant in events.rs appears in EVENT_ORDER with
+        // its slot, and every table entry appears in the file (a deleted
+        // variant should be retired from the table too).
+        let src = include_str!("../../serve/src/events.rs");
+        let (masked, _) = mask_and_allows(src);
+        let arms: Vec<(&str, u64)> = masked.lines().filter_map(event_class_arm).collect();
+        assert_eq!(arms.len(), EVENT_ORDER.len());
+        for (variant, class) in &arms {
+            assert!(
+                EVENT_ORDER.contains(&(variant, *class)),
+                "events.rs arm {variant} => {class} is not in EVENT_ORDER"
+            );
+        }
     }
 
     #[test]

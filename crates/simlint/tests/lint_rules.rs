@@ -5,8 +5,8 @@
 
 use proptest::prelude::*;
 use simlint::{
-    scan_file, scan_roots, Lint, RULE_ALLOW_WITHOUT_REASON, RULE_FLOAT_EQ, RULE_HASHMAP,
-    RULE_HOT_UNWRAP, RULE_UNKNOWN_RULE, RULE_UNSEEDED_RNG, RULE_WALLCLOCK,
+    scan_file, scan_roots, Lint, RULE_ALLOW_WITHOUT_REASON, RULE_EVENT_ORDER, RULE_FLOAT_EQ,
+    RULE_HASHMAP, RULE_HOT_UNWRAP, RULE_UNKNOWN_RULE, RULE_UNSEEDED_RNG, RULE_WALLCLOCK,
 };
 use std::path::{Path, PathBuf};
 use std::process::Command;
@@ -91,6 +91,34 @@ fn hashmap_introduced_into_fleet_rs_is_caught() {
         rendered.starts_with("crates/serve/src/fleet.rs:")
             && rendered.contains("deny[simlint::hashmap]"),
         "not rustc-style: {rendered}"
+    );
+}
+
+/// The real `crates/serve/src/events.rs` class table matches the canonical
+/// same-instant order today, and reshuffling a scheduling class — here the
+/// KV-transfer landings — produces a `deny[simlint::event-order]`
+/// diagnostic pointing at the drifted arm.
+#[test]
+fn reordered_kv_transfer_class_in_events_rs_is_caught() {
+    let path = "crates/serve/src/events.rs";
+    let pristine = std::fs::read_to_string(repo_root().join(path)).expect("read events.rs");
+    assert!(
+        scan_file(path, &pristine).is_empty(),
+        "the checked-in events.rs must scan clean"
+    );
+
+    let tainted = pristine.replace(
+        "FleetEvent::KvTransferComplete { .. } => 4,",
+        "FleetEvent::KvTransferComplete { .. } => 6,",
+    );
+    assert_ne!(tainted, pristine, "the class arm to taint exists");
+    let lints = scan_file(path, &tainted);
+    assert_eq!(lints.len(), 1, "got: {lints:?}");
+    assert_eq!(lints[0].rule, RULE_EVENT_ORDER);
+    assert!(
+        lints[0].render().contains("deny[simlint::event-order]"),
+        "not rustc-style: {}",
+        lints[0].render()
     );
 }
 
